@@ -1,0 +1,85 @@
+// Extension bench (the paper's conclusion: "more research on detection
+// and protection against such attacks is needed"): evaluates the two
+// manager-side defenses in power/defense.hpp against the paper's attack.
+//
+//   1. detection -- fraction of tampered/boosted cores flagged by the
+//      request-anomaly detector, plus false positives on a clean run;
+//   2. mitigation -- attack effect Q with and without the guarded
+//      (request-clamping) budgeter.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/placement.hpp"
+#include "power/defense.hpp"
+
+int main() {
+  using namespace htpb;
+  bench::print_header(
+      "Defense evaluation -- detection & mitigation of the false-data attack",
+      "extension of Sec. VI (conclusion)",
+      "detector flags most victims/accomplices with no false positives; "
+      "the guarded budgeter removes most of the Q excursion");
+
+  std::printf("%-7s | %9s %9s | %12s %12s | %9s %9s\n", "mix", "Q(plain)",
+              "Q(guard)", "victims flag", "boost flag", "falsePos",
+              "worstTheta");
+  for (int mix = 0; mix < 4; ++mix) {
+    core::CampaignConfig cfg = bench::mix_campaign_config(mix, 64);
+    // Mid-run activation so the detector sees honest history first.
+    cfg.trojan.active = false;
+    cfg.toggle_period_epochs = 3;
+    cfg.measure_epochs = 6;
+    power::RequestAnomalyDetector detector;
+    cfg.detector = &detector;
+    core::AttackCampaign campaign(cfg);
+    const MeshGeometry geom(cfg.system.width, cfg.system.height);
+    const auto hts = core::clustered_placement(
+        geom, 8, geom.coord_of(campaign.gm_node()), campaign.gm_node());
+    (void)campaign.run(hts);  // detection arm (mid-run activation)
+
+    // Damage arms are measured with the attack always on so that plain
+    // and guarded runs are directly comparable.
+    core::CampaignConfig plain_cfg = bench::mix_campaign_config(mix, 64);
+    core::AttackCampaign plain_campaign(plain_cfg);
+    const auto plain = plain_campaign.run(hts);
+
+    int victims = 0;
+    int attackers = 0;
+    for (const auto& app : campaign.apps()) {
+      (app.is_attacker() ? attackers : victims) +=
+          static_cast<int>(app.cores.size());
+    }
+
+    // False positives: same chip, Trojans never activated.
+    power::RequestAnomalyDetector clean_detector;
+    core::CampaignConfig clean_cfg = cfg;
+    clean_cfg.toggle_period_epochs = 0;
+    clean_cfg.detector = &clean_detector;
+    core::AttackCampaign clean(clean_cfg);
+    (void)clean.run(hts);
+    const auto false_pos = clean_detector.cumulative().flagged_low.size() +
+                           clean_detector.cumulative().flagged_high.size();
+
+    // Mitigation arm.
+    core::CampaignConfig guard_cfg = bench::mix_campaign_config(mix, 64);
+    guard_cfg.system.guard_requests = true;
+    core::AttackCampaign guarded(guard_cfg);
+    const auto mitigated = guarded.run(hts);
+    double worst = 1.0;
+    for (const auto& app : mitigated.apps) {
+      if (!app.attacker) worst = std::min(worst, app.change);
+    }
+
+    std::printf("%-7s | %9.3f %9.3f | %6zu/%-5d %6zu/%-5d | %9zu %9.3f\n",
+                cfg.mix->name.c_str(), plain.q, mitigated.q,
+                detector.cumulative().flagged_low.size(), victims,
+                detector.cumulative().flagged_high.size(), attackers,
+                false_pos, worst);
+  }
+  std::printf("\n(victims flag = starved cores detected / victim cores;\n"
+              "boost flag = inflated cores detected / attacker cores;\n"
+              "Q(guard) = attack effect when the manager clamps requests\n"
+              "into a trust band around each core's own history)\n");
+  return 0;
+}

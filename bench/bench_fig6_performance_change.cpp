@@ -1,0 +1,49 @@
+// Fig. 6: per-application performance change Theta vs infection rate for
+// each Table III mix (four panels). The paper's headline points: at
+// infection 0.5, mix-1 attackers gain up to 1.2x and victims drop to
+// 0.6x; mix-3's attacker reaches 1.35x; mix-4's victims drop to 0.8x.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/infection.hpp"
+
+int main() {
+  using namespace htpb;
+  bench::print_header(
+      "Fig. 6 -- per-application Theta vs infection rate (4 mixes)",
+      "Fig. 6(a)-(d)",
+      "attackers' Theta >= 1 and rises; victims' Theta < 1 and falls; "
+      "compute-bound victims fall hardest");
+
+  const double targets_full[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+  const double targets_quick[] = {0.5};
+  const auto targets = bench::quick_mode()
+                           ? std::span<const double>(targets_quick)
+                           : std::span<const double>(targets_full);
+
+  for (int mix = 0; mix < 4; ++mix) {
+    core::AttackCampaign campaign(bench::mix_campaign_config(mix));
+    const MeshGeometry geom(16, 16);
+    const core::InfectionAnalyzer analyzer(geom, campaign.gm_node());
+    Rng rng(42);
+
+    std::printf("\nmix-%d (panel %c):\n", mix + 1,
+                static_cast<char>('a' + mix));
+    std::printf("%10s |", "infection");
+    for (const auto& app : campaign.apps()) {
+      std::printf(" %13s%s", app.profile.name.substr(0, 12).c_str(),
+                  app.is_attacker() ? "*" : " ");
+    }
+    std::printf("\n");
+    for (const double target : targets) {
+      const auto hts = analyzer.placement_for_target(target, 64, rng);
+      const auto out = campaign.run(hts);
+      std::printf("%10.3f |", out.infection_measured);
+      for (const auto& app : out.apps) std::printf(" %13.3f ", app.change);
+      std::printf("\n");
+    }
+  }
+  std::printf("\n(* marks attacker applications; Theta = Def. 2)\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// google-benchmark microbenchmarks of the substrates: router/mesh cycle
+// cost, cache operations, budgeting policies, regression fit and the
+// analytic infection estimator. These quantify the simulator itself (not
+// a paper figure) and guard against performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/infection.hpp"
+#include "core/placement.hpp"
+#include "mem/cache.hpp"
+#include "noc/network.hpp"
+#include "power/budgeter.hpp"
+#include "sim/engine.hpp"
+
+namespace htpb {
+namespace {
+
+void BM_MeshIdleCycle(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  sim::Engine engine;
+  noc::MeshNetwork net(engine, MeshGeometry(side, side), noc::NocConfig{});
+  for (auto _ : state) {
+    engine.run_cycles(1);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(side) * side);
+}
+BENCHMARK(BM_MeshIdleCycle)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MeshUniformTraffic(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  sim::Engine engine;
+  MeshGeometry geom(side, side);
+  noc::MeshNetwork net(engine, geom, noc::NocConfig{});
+  const auto n = static_cast<std::uint64_t>(geom.node_count());
+  for (NodeId i = 0; i < n; ++i) net.set_handler(i, [](const noc::Packet&) {});
+  Rng rng(1);
+  for (auto _ : state) {
+    for (int k = 0; k < side; ++k) {
+      const auto src = static_cast<NodeId>(rng.below(n));
+      auto dst = static_cast<NodeId>(rng.below(n));
+      if (dst == src) dst = static_cast<NodeId>((dst + 1) % n);
+      net.send(net.make_packet(src, dst, noc::PacketType::kMemReadReq));
+    }
+    engine.run_cycles(4);
+  }
+  state.SetItemsProcessed(state.iterations() * side);
+}
+BENCHMARK(BM_MeshUniformTraffic)->Arg(8)->Arg(16);
+
+void BM_CacheLookup(benchmark::State& state) {
+  mem::SetAssocCache<int> cache(256, 2);
+  Rng rng(2);
+  bool evicted = false;
+  for (std::uint64_t a = 0; a < 400; ++a) cache.allocate(a, nullptr, &evicted);
+  std::uint64_t found = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.find(rng.below(512)));
+    ++found;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(found));
+}
+BENCHMARK(BM_CacheLookup);
+
+void BM_BudgeterAllocate(benchmark::State& state) {
+  const auto kind = static_cast<power::BudgeterKind>(state.range(0));
+  const auto budgeter = power::make_budgeter(kind);
+  Rng rng(3);
+  std::vector<power::BudgetRequest> reqs;
+  for (NodeId i = 0; i < 256; ++i) {
+    reqs.push_back({i, 0, static_cast<std::uint32_t>(500 + rng.below(3000))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(budgeter->allocate(reqs, 300'000, 500));
+  }
+  state.SetLabel(budgeter->name());
+}
+BENCHMARK(BM_BudgeterAllocate)
+    ->Arg(static_cast<int>(power::BudgeterKind::kUniform))
+    ->Arg(static_cast<int>(power::BudgeterKind::kGreedy))
+    ->Arg(static_cast<int>(power::BudgeterKind::kProportional))
+    ->Arg(static_cast<int>(power::BudgeterKind::kDynamicProgramming))
+    ->Arg(static_cast<int>(power::BudgeterKind::kMarket));
+
+void BM_LeastSquaresFit(benchmark::State& state) {
+  Rng rng(4);
+  const std::size_t n = 64;
+  const std::size_t p = 9;
+  Matrix x(n, p);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    for (std::size_t j = 1; j < p; ++j) x(i, j) = rng.uniform(-2, 2);
+    y[i] = rng.uniform(0, 5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(least_squares(x, y, 1e-6));
+  }
+}
+BENCHMARK(BM_LeastSquaresFit);
+
+void BM_InfectionPrediction(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const MeshGeometry geom(side, side);
+  const NodeId gm = geom.id_of(geom.center());
+  const core::InfectionAnalyzer analyzer(geom, gm);
+  Rng rng(5);
+  const auto hts = core::random_placement(geom, side, rng, gm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.predicted_rate(hts));
+  }
+}
+BENCHMARK(BM_InfectionPrediction)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_TargetPlacementSearch(benchmark::State& state) {
+  const MeshGeometry geom(16, 16);
+  const NodeId gm = geom.id_of(geom.center());
+  const core::InfectionAnalyzer analyzer(geom, gm);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.placement_for_target(0.7, 64, rng));
+  }
+}
+BENCHMARK(BM_TargetPlacementSearch);
+
+}  // namespace
+}  // namespace htpb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Shared helpers for the reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "system/system_config.hpp"
+#include "workload/application.hpp"
+
+namespace htpb::bench {
+
+/// Set HTPB_QUICK=1 to shrink seed counts / sweep lengths (CI smoke runs).
+[[nodiscard]] inline bool quick_mode() {
+  const char* env = std::getenv("HTPB_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Campaign configuration shared by the attack-effect experiments
+/// (Figs. 5-6, Sec. V-C): 256 cores, Table III mixes, 50% budget.
+[[nodiscard]] inline core::CampaignConfig mix_campaign_config(int mix_index,
+                                                              int nodes = 256) {
+  core::CampaignConfig cfg;
+  cfg.system = system::SystemConfig::with_size(nodes);
+  cfg.system.epoch_cycles = 2000;
+  cfg.mix = workload::standard_mixes().at(static_cast<std::size_t>(mix_index));
+  cfg.trojan.victim_scale = 0.10;
+  cfg.trojan.attacker_boost = 8.0;
+  cfg.warmup_epochs = 2;
+  cfg.measure_epochs = quick_mode() ? 3 : 5;
+  return cfg;
+}
+
+/// Infection-rate-only configuration (Figs. 3-4): uniform workload.
+[[nodiscard]] inline core::CampaignConfig infection_campaign_config(
+    int nodes, system::GmPlacement gm = system::GmPlacement::kCenter) {
+  core::CampaignConfig cfg;
+  cfg.system = system::SystemConfig::with_size(nodes);
+  cfg.system.epoch_cycles = 1500;
+  cfg.system.gm_placement = gm;
+  cfg.mix = std::nullopt;
+  cfg.warmup_epochs = 1;
+  cfg.measure_epochs = quick_mode() ? 2 : 3;
+  return cfg;
+}
+
+inline void print_header(const char* experiment, const char* paper_ref,
+                         const char* expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_ref);
+  std::printf("expected shape: %s\n", expectation);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace htpb::bench

@@ -1,0 +1,64 @@
+// Quickstart: build an 8x8 chip, run Table III's mix-1 with and without a
+// handful of hardware Trojans near the global manager, and print the
+// paper's metrics (infection rate, per-application Theta, attack effect Q).
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/campaign.hpp"
+#include "core/infection.hpp"
+#include "core/placement.hpp"
+#include "workload/application.hpp"
+
+int main() {
+  using namespace htpb;
+
+  core::CampaignConfig cfg;
+  cfg.system = system::SystemConfig::with_size(64);
+  cfg.system.epoch_cycles = 2000;
+  cfg.mix = workload::standard_mixes()[0];  // mix-1: barnes+canneal attack
+                                            // blackscholes+raytrace
+  cfg.warmup_epochs = 2;
+  cfg.measure_epochs = 5;
+
+  core::AttackCampaign campaign(cfg);
+  std::printf("chip: %dx%d, global manager at node %u\n", cfg.system.width,
+              cfg.system.height, campaign.gm_node());
+  std::printf("mix: %s (%d apps x %d threads)\n\n",
+              cfg.mix->name.c_str(), cfg.mix->app_count(),
+              campaign.apps().front().threads);
+
+  // Place 8 Trojans clustered around the manager -- the strongest
+  // geometry per the paper's Fig. 4.
+  const MeshGeometry geom(cfg.system.width, cfg.system.height);
+  const auto hts = core::clustered_placement(
+      geom, 8, geom.coord_of(campaign.gm_node()), campaign.gm_node());
+
+  const core::CampaignOutcome out = campaign.run(hts);
+
+  std::printf("infection rate: measured %.3f / predicted %.3f\n",
+              out.infection_measured, out.infection_predicted);
+  std::printf("placement: m=%d  rho=%.2f  eta=%.2f\n\n", out.geometry.m,
+              out.geometry.rho, out.geometry.eta);
+  std::printf("%-14s %-9s %-12s %-12s %-8s %-8s\n", "app", "role",
+              "theta_base", "theta_HT", "Theta", "Phi");
+  for (const auto& app : out.apps) {
+    std::printf("%-14s %-9s %-12.3f %-12.3f %-8.3f %-8.3f\n",
+                app.name.c_str(), app.attacker ? "attacker" : "victim",
+                app.theta_baseline, app.theta_attacked, app.change, app.phi);
+  }
+  if (out.q_valid) {
+    std::printf("\nattack effect Q = %.3f  (Q > 1 means the attack pays off)\n",
+                out.q);
+  }
+  std::printf("trojan totals: %llu power requests seen, %llu victim requests "
+              "modified, %llu attacker requests boosted\n",
+              static_cast<unsigned long long>(
+                  out.trojan_totals.power_requests_seen),
+              static_cast<unsigned long long>(
+                  out.trojan_totals.victim_requests_modified),
+              static_cast<unsigned long long>(
+                  out.trojan_totals.attacker_requests_boosted));
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "common/geometry.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace htpb {
+
+MeshGeometry::MeshGeometry(int width, int height)
+    : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("MeshGeometry: dimensions must be positive");
+  }
+}
+
+std::vector<NodeId> MeshGeometry::nodes_by_distance(Coord from) const {
+  std::vector<NodeId> ids(static_cast<std::size_t>(node_count()));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<NodeId>(i);
+  }
+  std::stable_sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+    const int da = manhattan_distance(coord_of(a), from);
+    const int db = manhattan_distance(coord_of(b), from);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  return ids;
+}
+
+PointF virtual_center(std::span<const Coord> nodes) {
+  if (nodes.empty()) {
+    throw std::invalid_argument("virtual_center: empty node set");
+  }
+  double sx = 0.0;
+  double sy = 0.0;
+  for (const Coord& c : nodes) {
+    sx += c.x;
+    sy += c.y;
+  }
+  const double m = static_cast<double>(nodes.size());
+  return PointF{sx / m, sy / m};
+}
+
+double center_distance(Coord global_manager, std::span<const Coord> nodes) {
+  const PointF omega = virtual_center(nodes);
+  return manhattan_distance(omega, global_manager);
+}
+
+double placement_density(std::span<const Coord> nodes) {
+  const PointF omega = virtual_center(nodes);
+  double sum = 0.0;
+  for (const Coord& c : nodes) {
+    sum += manhattan_distance(omega, c);
+  }
+  return sum / static_cast<double>(nodes.size());
+}
+
+}  // namespace htpb

@@ -1,0 +1,109 @@
+// 2D mesh geometry: coordinates, node-id mapping, Manhattan distance and
+// the "virtual center" used by the paper's Definitions 6-8.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace htpb {
+
+/// Integer coordinate of a tile in the 2D mesh. x grows east, y grows south.
+struct Coord {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Real-valued point; result of averaging integer coordinates (Def. 6).
+struct PointF {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const PointF&, const PointF&) = default;
+};
+
+/// Manhattan distance between two tile coordinates.
+[[nodiscard]] constexpr int manhattan_distance(Coord a, Coord b) noexcept {
+  const int dx = a.x >= b.x ? a.x - b.x : b.x - a.x;
+  const int dy = a.y >= b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+/// Manhattan distance between real-valued points (used for distances that
+/// involve the virtual center, Defs. 7-8).
+[[nodiscard]] inline double manhattan_distance(PointF a, PointF b) noexcept {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+[[nodiscard]] inline double manhattan_distance(PointF a, Coord b) noexcept {
+  return manhattan_distance(a, PointF{static_cast<double>(b.x),
+                                      static_cast<double>(b.y)});
+}
+
+/// Maps between row-major node ids and coordinates for a mesh of the given
+/// width/height. Kept as a tiny value type so that every module agrees on
+/// the mapping.
+class MeshGeometry {
+ public:
+  MeshGeometry() = default;
+  MeshGeometry(int width, int height);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] int node_count() const noexcept { return width_ * height_; }
+
+  [[nodiscard]] Coord coord_of(NodeId id) const noexcept {
+    return Coord{static_cast<int>(id) % width_, static_cast<int>(id) / width_};
+  }
+
+  [[nodiscard]] NodeId id_of(Coord c) const noexcept {
+    return static_cast<NodeId>(c.y * width_ + c.x);
+  }
+
+  [[nodiscard]] bool contains(Coord c) const noexcept {
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+  }
+
+  [[nodiscard]] bool contains(NodeId id) const noexcept {
+    return id < static_cast<NodeId>(node_count());
+  }
+
+  /// Distance in hops between two nodes (minimal routing).
+  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const noexcept {
+    return manhattan_distance(coord_of(a), coord_of(b));
+  }
+
+  /// The tile closest to the geometric center of the chip.
+  [[nodiscard]] Coord center() const noexcept {
+    return Coord{width_ / 2, height_ / 2};
+  }
+
+  /// Corner (0, 0); the paper's "global manager in one corner" experiments.
+  [[nodiscard]] static constexpr Coord corner() noexcept { return Coord{0, 0}; }
+
+  /// All node ids ordered by Manhattan distance from `from` (stable order
+  /// for determinism: ties broken by node id).
+  [[nodiscard]] std::vector<NodeId> nodes_by_distance(Coord from) const;
+
+ private:
+  int width_ = 1;
+  int height_ = 1;
+};
+
+/// Def. 6: the virtual center of a set of (malicious) node coordinates.
+[[nodiscard]] PointF virtual_center(std::span<const Coord> nodes);
+
+/// Def. 7: Manhattan distance between a location and the virtual center.
+[[nodiscard]] double center_distance(Coord global_manager,
+                                     std::span<const Coord> nodes);
+
+/// Def. 8: average Manhattan distance of the nodes from their own virtual
+/// center ("density" in the paper; really a dispersion measure).
+[[nodiscard]] double placement_density(std::span<const Coord> nodes);
+
+}  // namespace htpb

@@ -1,0 +1,49 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <vector>
+
+namespace htpb {
+
+namespace {
+LogLevel g_threshold = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() noexcept { return g_threshold; }
+void set_log_threshold(LogLevel level) noexcept { g_threshold = level; }
+
+namespace detail {
+
+void log_line(LogLevel level, const char* module, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %-8s %s\n", level_name(level), module, msg.c_str());
+}
+
+std::string format_args(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    out.assign(buf.data(), static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace detail
+}  // namespace htpb

@@ -1,0 +1,44 @@
+// Tiny leveled logger. Off by default; experiments turn on per-module
+// logging when debugging. Not thread-safe by design: the simulator is
+// single-threaded and deterministic.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace htpb {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold; messages above it are discarded.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const char* module, const std::string& msg);
+std::string format_args(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+template <typename... Args>
+void log_message(LogLevel level, const char* module, const char* fmt,
+                 Args&&... args) {
+  if (static_cast<int>(level) > static_cast<int>(log_threshold())) return;
+  if constexpr (sizeof...(Args) == 0) {
+    detail::log_line(level, module, fmt);
+  } else {
+    detail::log_line(level, module,
+                     detail::format_args(fmt, std::forward<Args>(args)...));
+  }
+}
+
+#define HTPB_LOG_ERROR(mod, ...) \
+  ::htpb::log_message(::htpb::LogLevel::kError, mod, __VA_ARGS__)
+#define HTPB_LOG_WARN(mod, ...) \
+  ::htpb::log_message(::htpb::LogLevel::kWarn, mod, __VA_ARGS__)
+#define HTPB_LOG_INFO(mod, ...) \
+  ::htpb::log_message(::htpb::LogLevel::kInfo, mod, __VA_ARGS__)
+#define HTPB_LOG_DEBUG(mod, ...) \
+  ::htpb::log_message(::htpb::LogLevel::kDebug, mod, __VA_ARGS__)
+
+}  // namespace htpb

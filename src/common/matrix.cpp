@@ -1,0 +1,136 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace htpb {
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw std::invalid_argument("Matrix multiply: dimension mismatch");
+  }
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out(r, c) += a * rhs(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(std::span<const double> v) const {
+  if (cols_ != v.size()) {
+    throw std::invalid_argument("Matrix-vector multiply: dimension mismatch");
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += (*this)(r, c) * v[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("cholesky_solve: dimension mismatch");
+  }
+  // Decompose A = L L^T.
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0) {
+      throw std::runtime_error("cholesky_solve: matrix not positive definite");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  // Forward solve L z = b.
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * z[k];
+    z[i] = s / l(i, i);
+  }
+  // Back solve L^T x = z.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = z[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l(k, i) * x[k];
+    x[i] = s / l(i, i);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const Matrix& x, std::span<const double> y,
+                                  double ridge) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  if (y.size() != n) {
+    throw std::invalid_argument("least_squares: row count mismatch");
+  }
+  if (n < p) {
+    throw std::invalid_argument("least_squares: underdetermined system");
+  }
+  // Normal equations: (X^T X + ridge I) beta = X^T y.
+  Matrix xtx(p, p);
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < p; ++a) {
+      const double xa = x(i, a);
+      if (xa == 0.0) continue;
+      xty[a] += xa * y[i];
+      for (std::size_t b = a; b < p; ++b) {
+        xtx(a, b) += xa * x(i, b);
+      }
+    }
+  }
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = 0; b < a; ++b) xtx(a, b) = xtx(b, a);
+    xtx(a, a) += ridge;
+  }
+  return cholesky_solve(xtx, xty);
+}
+
+double r_squared(std::span<const double> predicted,
+                 std::span<const double> observed) {
+  if (predicted.size() != observed.size() || observed.empty()) {
+    throw std::invalid_argument("r_squared: size mismatch or empty");
+  }
+  const double mean = mean_of(observed);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double e = observed[i] - predicted[i];
+    const double d = observed[i] - mean;
+    ss_res += e * e;
+    ss_tot += d * d;
+  }
+  if (ss_tot <= 0.0) return ss_res <= 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace htpb

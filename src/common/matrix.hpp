@@ -1,0 +1,54 @@
+// Small dense linear algebra: just enough to fit the paper's linear
+// attack-effect model (Eq. 9) by least squares and report R^2.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace htpb {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] std::vector<double> operator*(std::span<const double> v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive definite A via Cholesky.
+/// Throws std::runtime_error if A is not SPD (within a tolerance).
+[[nodiscard]] std::vector<double> cholesky_solve(const Matrix& a,
+                                                 std::span<const double> b);
+
+/// Ordinary least squares: minimizes ||X beta - y||^2 using the normal
+/// equations with a small ridge term for numerical safety.
+/// X is n x p with n >= p.
+[[nodiscard]] std::vector<double> least_squares(const Matrix& x,
+                                                std::span<const double> y,
+                                                double ridge = 1e-9);
+
+/// Coefficient of determination of predictions vs. observations.
+[[nodiscard]] double r_squared(std::span<const double> predicted,
+                               std::span<const double> observed);
+
+}  // namespace htpb

@@ -1,0 +1,27 @@
+// Fundamental identifier and time types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace htpb {
+
+/// Simulation time in NoC cycles (1 cycle == 1 ns at the 1 GHz reference
+/// clock used throughout the simulator; see DESIGN.md §5).
+using Cycle = std::uint64_t;
+
+/// Identifier of a node (tile) in the mesh. Node ids are row-major:
+/// id = y * width + x.
+using NodeId = std::uint32_t;
+
+/// Identifier of an application (one multi-threaded benchmark instance).
+using AppId = std::uint32_t;
+
+/// Identifier of a packet, unique within one network's lifetime.
+using PacketId = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr AppId kInvalidApp = std::numeric_limits<AppId>::max();
+inline constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+
+}  // namespace htpb

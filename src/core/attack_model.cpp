@@ -1,0 +1,74 @@
+#include "core/attack_model.hpp"
+
+#include <stdexcept>
+
+#include "common/matrix.hpp"
+
+namespace htpb::core {
+
+std::vector<double> AttackEffectModel::features(const AttackSample& s) const {
+  std::vector<double> x;
+  x.reserve(4 + victims_ + attackers_);
+  x.push_back(1.0);  // a0
+  x.push_back(s.rho);
+  x.push_back(s.eta);
+  x.push_back(static_cast<double>(s.m));
+  for (const double phi : s.phi_victims) x.push_back(phi);
+  for (const double phi : s.phi_attackers) x.push_back(phi);
+  return x;
+}
+
+void AttackEffectModel::fit(std::span<const AttackSample> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("AttackEffectModel::fit: no samples");
+  }
+  victims_ = samples.front().phi_victims.size();
+  attackers_ = samples.front().phi_attackers.size();
+  for (const AttackSample& s : samples) {
+    if (s.phi_victims.size() != victims_ ||
+        s.phi_attackers.size() != attackers_) {
+      throw std::invalid_argument(
+          "AttackEffectModel::fit: inconsistent victim/attacker counts");
+    }
+  }
+  const std::size_t p = 4 + victims_ + attackers_;
+  if (samples.size() < p) {
+    throw std::invalid_argument(
+        "AttackEffectModel::fit: fewer samples than coefficients");
+  }
+  Matrix x(samples.size(), p);
+  std::vector<double> y(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto row = features(samples[i]);
+    for (std::size_t j = 0; j < p; ++j) x(i, j) = row[j];
+    y[i] = samples[i].q;
+  }
+  // The Phi columns are constant within one mix (each application's
+  // sensitivity does not vary across placements), so the normal equations
+  // are rank-deficient without regularization; a small ridge keeps the
+  // solve well-posed while leaving the informative coefficients intact.
+  beta_ = least_squares(x, y, 1e-6);
+
+  std::vector<double> predicted(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    predicted[i] = predict(samples[i]);
+  }
+  r2_ = r_squared(predicted, y);
+}
+
+double AttackEffectModel::predict(const AttackSample& s) const {
+  if (!fitted()) {
+    throw std::logic_error("AttackEffectModel::predict: model not fitted");
+  }
+  if (s.phi_victims.size() != victims_ ||
+      s.phi_attackers.size() != attackers_) {
+    throw std::invalid_argument(
+        "AttackEffectModel::predict: victim/attacker count mismatch");
+  }
+  const auto x = features(s);
+  double q = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) q += beta_[j] * x[j];
+  return q;
+}
+
+}  // namespace htpb::core

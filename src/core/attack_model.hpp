@@ -1,0 +1,62 @@
+// The paper's linear attack-effect model (Eq. 9):
+//
+//   Q(D,G) ~ a1*rho + a2*eta + a3*m
+//            + sum_j b_j * Phi_victim_j + sum_k c_k * Phi_attacker_k + a0
+//
+// fitted by ordinary least squares over campaign samples, and used by the
+// placement optimizer (Eq. 10-11) to predict Q for unseen placements.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace htpb::core {
+
+struct AttackSample {
+  double rho = 0.0;
+  double eta = 0.0;
+  int m = 0;
+  /// Phi of each victim application (order fixed across samples).
+  std::vector<double> phi_victims;
+  /// Phi of each attacker application (order fixed across samples).
+  std::vector<double> phi_attackers;
+  /// Observed attack effect.
+  double q = 0.0;
+};
+
+class AttackEffectModel {
+ public:
+  /// Fits the regression. All samples must agree on the victim/attacker
+  /// counts (the model is per-mix, like the paper's). Requires at least
+  /// as many samples as coefficients. Throws std::invalid_argument
+  /// otherwise.
+  void fit(std::span<const AttackSample> samples);
+
+  [[nodiscard]] bool fitted() const noexcept { return !beta_.empty(); }
+
+  /// Predicted Q for a sample's descriptors (its `q` field is ignored).
+  [[nodiscard]] double predict(const AttackSample& s) const;
+
+  /// In-sample coefficient of determination.
+  [[nodiscard]] double r2() const noexcept { return r2_; }
+
+  /// [a0, a1 (rho), a2 (eta), a3 (m), b_1..b_V, c_1..c_A].
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return beta_;
+  }
+  [[nodiscard]] std::size_t victim_count() const noexcept { return victims_; }
+  [[nodiscard]] std::size_t attacker_count() const noexcept {
+    return attackers_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<double> features(const AttackSample& s) const;
+
+  std::vector<double> beta_;
+  std::size_t victims_ = 0;
+  std::size_t attackers_ = 0;
+  double r2_ = 0.0;
+};
+
+}  // namespace htpb::core

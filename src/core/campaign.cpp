@@ -1,0 +1,200 @@
+#include "core/campaign.hpp"
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "core/infection.hpp"
+#include "system/manycore_system.hpp"
+#include "workload/benchmark_profile.hpp"
+
+namespace htpb::core {
+
+namespace {
+
+/// Uniform light workload for infection-only experiments: every core runs
+/// one thread of the same moderately communicating benchmark.
+workload::Mix uniform_mix() {
+  workload::Mix mix;
+  mix.name = "uniform";
+  mix.victims = {"fluidanimate"};
+  return mix;
+}
+
+}  // namespace
+
+AttackCampaign::AttackCampaign(CampaignConfig cfg) : cfg_(std::move(cfg)) {
+  const workload::Mix mix = cfg_.mix.value_or(uniform_mix());
+  const int nodes = cfg_.system.node_count();
+  int threads = cfg_.threads_per_app;
+  if (threads <= 0) {
+    threads = nodes / mix.app_count();
+    if (threads == 0) {
+      throw std::invalid_argument("AttackCampaign: more apps than cores");
+    }
+  }
+  apps_ = workload::instantiate_mix(mix, threads);
+  workload::map_threads_round_robin(apps_, nodes);
+
+  // Resolve the manager node the same way the system will, so that the
+  // Trojan configuration and infection analytics agree with the substrate.
+  const MeshGeometry geom(cfg_.system.width, cfg_.system.height);
+  gm_node_ = cfg_.system.gm_node.value_or(
+      cfg_.system.gm_placement == system::GmPlacement::kCenter
+          ? geom.id_of(geom.center())
+          : geom.id_of(MeshGeometry::corner()));
+
+  if (cfg_.attacker_agent.has_value()) {
+    agent_node_ = *cfg_.attacker_agent;
+  } else {
+    agent_node_ = 0;
+    for (const auto& app : apps_) {
+      if (app.is_attacker() && !app.cores.empty()) {
+        agent_node_ = app.cores.front();
+        break;
+      }
+    }
+  }
+}
+
+AttackCampaign::RunResult AttackCampaign::run_system(
+    std::span<const NodeId> ht_nodes) {
+  system::ManyCoreSystem sys(cfg_.system, apps_);
+
+  // Implant the Trojans (fab-time insertion: present before power-on).
+  std::vector<std::unique_ptr<HardwareTrojan>> trojans;
+  trojans.reserve(ht_nodes.size());
+  for (const NodeId node : ht_nodes) {
+    auto ht = std::make_unique<HardwareTrojan>(node);
+    sys.network().add_inspector(node, ht.get());
+    trojans.push_back(std::move(ht));
+  }
+
+  // The attacker's agent broadcasts the configuration at power-on. A
+  // unicast to every node covers every router under XY routing (the union
+  // of the paths from one source to all destinations is the full mesh).
+  if (!ht_nodes.empty()) {
+    TrojanConfig tc = cfg_.trojan;
+    tc.global_manager = gm_node_;
+    tc.attacker_agents.clear();
+    for (const auto& app : apps_) {
+      if (!app.is_attacker()) continue;
+      tc.attacker_agents.insert(tc.attacker_agents.end(), app.cores.begin(),
+                                app.cores.end());
+    }
+    if (tc.attacker_agents.empty()) tc.attacker_agents.push_back(agent_node_);
+
+    const auto broadcast = [&sys, this](const TrojanConfig& config) {
+      for (NodeId n = 0; n < static_cast<NodeId>(cfg_.system.node_count());
+           ++n) {
+        auto pkt = sys.network().make_packet(agent_node_, n,
+                                             noc::PacketType::kConfigCmd);
+        encode_config(config, *pkt);
+        sys.network().send(std::move(pkt));
+      }
+    };
+    broadcast(tc);
+
+    if (cfg_.toggle_period_epochs > 0) {
+      // Periodic ON/OFF re-broadcasts (Sec. III-B duty-cycling). The
+      // shared_ptr keeps the toggled state alive across engine events.
+      const Cycle period = static_cast<Cycle>(cfg_.toggle_period_epochs) *
+                           cfg_.system.epoch_cycles;
+      auto state = std::make_shared<TrojanConfig>(tc);
+      auto toggle = std::make_shared<std::function<void()>>();
+      *toggle = [&sys, broadcast, state, period, toggle]() {
+        state->active = !state->active;
+        broadcast(*state);
+        sys.engine().schedule_in(period, *toggle);
+      };
+      sys.engine().schedule_in(period, *toggle);
+    }
+    if (cfg_.detector != nullptr) sys.gm().attach_detector(cfg_.detector);
+  }
+
+  sys.run_epochs(cfg_.warmup_epochs);
+  sys.reset_measurement();
+  sys.run_epochs(cfg_.measure_epochs);
+
+  RunResult result;
+  result.theta.resize(apps_.size());
+  result.phi.resize(apps_.size());
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    result.theta[i] = sys.app_throughput(apps_[i].id);
+    result.phi[i] = sys.app_sensitivity(apps_[i].id);
+  }
+  result.infection = sys.measured_infection_rate();
+  for (const auto& ht : trojans) {
+    const TrojanStats& s = ht->stats();
+    result.trojan_totals.config_packets_seen += s.config_packets_seen;
+    result.trojan_totals.power_requests_seen += s.power_requests_seen;
+    result.trojan_totals.victim_requests_modified +=
+        s.victim_requests_modified;
+    result.trojan_totals.attacker_requests_boosted +=
+        s.attacker_requests_boosted;
+  }
+  return result;
+}
+
+void AttackCampaign::ensure_baseline() {
+  if (have_baseline_) return;
+  baseline_ = run_system({});
+  have_baseline_ = true;
+}
+
+const std::vector<double>& AttackCampaign::baseline_phi() {
+  ensure_baseline();
+  return baseline_.phi;
+}
+
+double AttackCampaign::run_infection_only(std::span<const NodeId> ht_nodes) {
+  return run_system(ht_nodes).infection;
+}
+
+CampaignOutcome AttackCampaign::run(std::span<const NodeId> ht_nodes) {
+  ensure_baseline();
+  const RunResult attacked = run_system(ht_nodes);
+
+  CampaignOutcome out;
+  out.infection_measured = attacked.infection;
+  out.trojan_totals = attacked.trojan_totals;
+
+  const MeshGeometry geom(cfg_.system.width, cfg_.system.height);
+  if (!ht_nodes.empty()) {
+    out.geometry = placement_geometry(geom, gm_node_, ht_nodes);
+    // The infection rate is defined over victim requests (boosting the
+    // accomplice's own packets is not an infection), so predict coverage
+    // of the victim cores only.
+    std::vector<NodeId> sources;
+    for (const auto& app : apps_) {
+      if (app.is_attacker()) continue;
+      for (const NodeId c : app.cores) {
+        if (c != gm_node_) sources.push_back(c);
+      }
+    }
+    out.infection_predicted =
+        InfectionAnalyzer(geom, gm_node_).predicted_rate(ht_nodes, sources);
+  }
+
+  std::vector<double> change_attackers;
+  std::vector<double> change_victims;
+  out.apps.resize(apps_.size());
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    AppOutcome& ao = out.apps[i];
+    ao.id = apps_[i].id;
+    ao.name = apps_[i].profile.name;
+    ao.attacker = apps_[i].is_attacker();
+    ao.theta_baseline = baseline_.theta[i];
+    ao.theta_attacked = attacked.theta[i];
+    ao.change = performance_change(ao.theta_attacked, ao.theta_baseline);
+    ao.phi = baseline_.phi[i];
+    (ao.attacker ? change_attackers : change_victims).push_back(ao.change);
+  }
+  if (!change_attackers.empty() && !change_victims.empty()) {
+    out.q_valid = true;
+    out.q = attack_effect_q(change_attackers, change_victims);
+  }
+  return out;
+}
+
+}  // namespace htpb::core

@@ -1,0 +1,109 @@
+// Experiment campaign runner: builds the chip, injects Trojans through
+// the router-inspector hook, broadcasts the attacker's configuration
+// packets, runs warmup + measurement epochs, and reduces the raw
+// simulator output to the paper's metrics (infection rate, Theta per
+// application, Q). The baseline (Trojan-free) run is cached so placement
+// sweeps pay for it once.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/metrics.hpp"
+#include "core/trojan.hpp"
+#include "core/trojan_config.hpp"
+#include "system/system_config.hpp"
+#include "workload/application.hpp"
+
+namespace htpb::core {
+
+struct CampaignConfig {
+  system::SystemConfig system;
+  /// Benchmark combination (Table III). An empty mix means an
+  /// infection-rate-only experiment: every core runs a light uniform
+  /// workload and no Q is computed (Figs. 3-4).
+  std::optional<workload::Mix> mix;
+  /// Threads per application; 0 = divide all cores evenly.
+  int threads_per_app = 0;
+  /// Trojan behaviour written into the attacker's CONFIG_CMD broadcast
+  /// (global_manager / attacker_agents are filled in automatically).
+  TrojanConfig trojan;
+  int warmup_epochs = 2;
+  int measure_epochs = 5;
+  /// Node that broadcasts the configuration; default: the attacker
+  /// application's first core (or node 0 when there is none).
+  std::optional<NodeId> attacker_agent;
+  /// Duty-cycled activation (Sec. III-B: "a series of configuration
+  /// packets can be sent with activation signals alternated to be ON and
+  /// OFF"): every `toggle_period_epochs` epochs the agent re-broadcasts
+  /// the configuration with the activation signal flipped. 0 = static.
+  int toggle_period_epochs = 0;
+  /// Optional manager-side intrusion detector, attached to the *attacked*
+  /// run's global manager (the baseline is by definition clean). Not
+  /// owned; cleared between runs by the caller if reuse is not desired.
+  power::RequestAnomalyDetector* detector = nullptr;
+};
+
+struct AppOutcome {
+  AppId id = kInvalidApp;
+  std::string name;
+  bool attacker = false;
+  double theta_baseline = 0.0;  ///< Lambda_k (Def. 2 denominator)
+  double theta_attacked = 0.0;  ///< theta_k with HTs
+  double change = 1.0;          ///< Theta_k (Def. 2)
+  double phi = 0.0;             ///< Phi_k (Def. 5), from the baseline run
+};
+
+struct CampaignOutcome {
+  double infection_measured = 0.0;
+  double infection_predicted = 0.0;
+  bool q_valid = false;
+  double q = 0.0;  ///< Def. 3; valid only when q_valid
+  PlacementGeometry geometry{};  ///< rho/eta/m of the placement (m = 0: none)
+  std::vector<AppOutcome> apps;
+  TrojanStats trojan_totals;
+};
+
+class AttackCampaign {
+ public:
+  explicit AttackCampaign(CampaignConfig cfg);
+
+  [[nodiscard]] const std::vector<workload::Application>& apps() const noexcept {
+    return apps_;
+  }
+  [[nodiscard]] const CampaignConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] NodeId gm_node() const noexcept { return gm_node_; }
+
+  /// Full outcome for one placement (runs / reuses the cached baseline).
+  [[nodiscard]] CampaignOutcome run(std::span<const NodeId> ht_nodes);
+
+  /// Infection rate only -- skips the baseline (Figs. 3-4).
+  [[nodiscard]] double run_infection_only(std::span<const NodeId> ht_nodes);
+
+  /// Baseline per-app sensitivities Phi (computed with the baseline run).
+  [[nodiscard]] const std::vector<double>& baseline_phi();
+
+ private:
+  struct RunResult {
+    std::vector<double> theta;  // per app
+    std::vector<double> phi;    // per app
+    double infection = 0.0;
+    TrojanStats trojan_totals;
+  };
+
+  RunResult run_system(std::span<const NodeId> ht_nodes);
+  void ensure_baseline();
+
+  CampaignConfig cfg_;
+  std::vector<workload::Application> apps_;
+  NodeId gm_node_ = kInvalidNode;
+  NodeId agent_node_ = 0;
+  bool have_baseline_ = false;
+  RunResult baseline_;
+};
+
+}  // namespace htpb::core

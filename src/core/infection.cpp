@@ -1,0 +1,112 @@
+#include "core/infection.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "noc/routing.hpp"
+
+namespace htpb::core {
+
+InfectionAnalyzer::InfectionAnalyzer(const MeshGeometry& geom,
+                                     NodeId global_manager)
+    : geom_(geom), gm_(global_manager) {}
+
+bool InfectionAnalyzer::route_covers(NodeId src, NodeId via) const {
+  return noc::xy_route_passes_through(geom_.coord_of(src), geom_.coord_of(gm_),
+                                      geom_.coord_of(via));
+}
+
+double InfectionAnalyzer::predicted_rate(std::span<const NodeId> hts,
+                                         std::span<const NodeId> sources) const {
+  if (sources.empty()) return 0.0;
+  int covered = 0;
+  for (const NodeId src : sources) {
+    for (const NodeId ht : hts) {
+      if (route_covers(src, ht)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(sources.size());
+}
+
+double InfectionAnalyzer::predicted_rate(std::span<const NodeId> hts) const {
+  std::vector<NodeId> sources;
+  sources.reserve(static_cast<std::size_t>(geom_.node_count()) - 1);
+  for (NodeId n = 0; n < static_cast<NodeId>(geom_.node_count()); ++n) {
+    if (n != gm_) sources.push_back(n);
+  }
+  return predicted_rate(hts, sources);
+}
+
+int InfectionAnalyzer::coverage_of(NodeId via) const {
+  int covered = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(geom_.node_count()); ++n) {
+    if (n != gm_ && route_covers(n, via)) ++covered;
+  }
+  return covered;
+}
+
+std::vector<NodeId> InfectionAnalyzer::placement_for_target(double target,
+                                                            int max_hts,
+                                                            Rng& rng) const {
+  const auto n = static_cast<NodeId>(geom_.node_count());
+  std::vector<NodeId> sources;
+  for (NodeId s = 0; s < n; ++s) {
+    if (s != gm_) sources.push_back(s);
+  }
+  std::vector<bool> covered(n, false);
+  std::vector<NodeId> candidates;
+  for (NodeId c = 0; c < n; ++c) {
+    if (c != gm_) candidates.push_back(c);
+  }
+  rng.shuffle(std::span<NodeId>(candidates));  // deterministic tie-breaks
+
+  std::vector<NodeId> placement;
+  int covered_count = 0;
+  const double total = static_cast<double>(sources.size());
+  while (static_cast<int>(placement.size()) < max_hts &&
+         static_cast<double>(covered_count) / total < target) {
+    // Marginal sources still needed to hit the target exactly.
+    const int needed = static_cast<int>(target * total + 0.999) - covered_count;
+    // Prefer the candidate with the largest marginal gain that does not
+    // overshoot `needed`; if every positive gain overshoots, take the
+    // smallest positive one. This converges on the target from below and
+    // lands within one node's coverage of it.
+    NodeId best = kInvalidNode;
+    int best_gain = -1;
+    NodeId fallback = kInvalidNode;
+    int fallback_gain = std::numeric_limits<int>::max();
+    for (const NodeId c : candidates) {
+      if (std::find(placement.begin(), placement.end(), c) != placement.end()) {
+        continue;
+      }
+      int gain = 0;
+      for (const NodeId s : sources) {
+        if (!covered[s] && route_covers(s, c)) ++gain;
+      }
+      if (gain <= 0) continue;
+      if (gain <= needed && gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+      if (gain < fallback_gain) {
+        fallback_gain = gain;
+        fallback = c;
+      }
+    }
+    if (best == kInvalidNode) best = fallback;
+    if (best == kInvalidNode) break;
+    placement.push_back(best);
+    for (const NodeId s : sources) {
+      if (route_covers(s, best)) {
+        if (!covered[s]) ++covered_count;
+        covered[s] = true;
+      }
+    }
+  }
+  return placement;
+}
+
+}  // namespace htpb::core

@@ -1,0 +1,57 @@
+// Analytic infection-rate estimation.
+//
+// With Table I's deterministic XY routing the set of routers a POWER_REQ
+// from source s to the manager g traverses is a closed form, so the
+// infection rate -- the fraction of requests that cross at least one
+// Trojaned router -- can be computed exactly. The estimator is validated
+// against the full simulator in tests, and is also inverted: given a
+// target infection rate, a greedy cover search yields a placement
+// achieving it (used to sweep the x-axis of Figs. 5-6).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace htpb::core {
+
+class InfectionAnalyzer {
+ public:
+  InfectionAnalyzer(const MeshGeometry& geom, NodeId global_manager);
+
+  [[nodiscard]] NodeId global_manager() const noexcept { return gm_; }
+
+  /// True iff an XY-routed packet from `src` to the manager traverses the
+  /// router at `via` (endpoints included: a Trojan in the source's or
+  /// manager's router also sees the packet).
+  [[nodiscard]] bool route_covers(NodeId src, NodeId via) const;
+
+  /// Fraction of `sources` whose request crosses >= 1 HT.
+  [[nodiscard]] double predicted_rate(std::span<const NodeId> hts,
+                                      std::span<const NodeId> sources) const;
+
+  /// Same, with every node except the manager as a source (each core sends
+  /// exactly one request per epoch, so sources are equally weighted).
+  [[nodiscard]] double predicted_rate(std::span<const NodeId> hts) const;
+
+  /// Nodes covered (as sources) by a single HT at `via`.
+  [[nodiscard]] int coverage_of(NodeId via) const;
+
+  /// Greedy max-cover placement: repeatedly adds the node (never the
+  /// manager) with the largest marginal source coverage until the
+  /// predicted rate reaches `target` or `max_hts` Trojans are placed.
+  /// Ties are broken deterministically from `rng`. The final rate can
+  /// overshoot the target by at most one node's coverage.
+  [[nodiscard]] std::vector<NodeId> placement_for_target(double target,
+                                                         int max_hts,
+                                                         Rng& rng) const;
+
+ private:
+  MeshGeometry geom_;
+  NodeId gm_;
+};
+
+}  // namespace htpb::core

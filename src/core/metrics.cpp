@@ -1,0 +1,44 @@
+#include "core/metrics.hpp"
+
+#include <stdexcept>
+
+namespace htpb::core {
+
+double performance_change(double theta_attacked, double theta_baseline) {
+  if (theta_baseline <= 0.0) return 1.0;
+  return theta_attacked / theta_baseline;
+}
+
+double attack_effect_q(std::span<const double> theta_change_attackers,
+                       std::span<const double> theta_change_victims) {
+  if (theta_change_attackers.empty() || theta_change_victims.empty()) {
+    throw std::invalid_argument(
+        "attack_effect_q: needs at least one attacker and one victim");
+  }
+  const auto a = static_cast<double>(theta_change_attackers.size());
+  const auto v = static_cast<double>(theta_change_victims.size());
+  double sum_a = 0.0;
+  for (const double x : theta_change_attackers) sum_a += x;
+  double sum_v = 0.0;
+  for (const double x : theta_change_victims) sum_v += x;
+  if (sum_v <= 0.0) {
+    throw std::invalid_argument("attack_effect_q: victim change sum not positive");
+  }
+  return (v * sum_a) / (a * sum_v);
+}
+
+PlacementGeometry placement_geometry(const MeshGeometry& geom,
+                                     NodeId global_manager,
+                                     std::span<const NodeId> hts) {
+  std::vector<Coord> coords;
+  coords.reserve(hts.size());
+  for (const NodeId n : hts) coords.push_back(geom.coord_of(n));
+  PlacementGeometry pg;
+  pg.omega = virtual_center(coords);
+  pg.rho = center_distance(geom.coord_of(global_manager), coords);
+  pg.eta = placement_density(coords);
+  pg.m = static_cast<int>(hts.size());
+  return pg;
+}
+
+}  // namespace htpb::core

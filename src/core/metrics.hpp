@@ -1,0 +1,43 @@
+// The paper's quantitative definitions (Sec. IV):
+//   Def. 1  theta_k    -- application performance (sum of IPC * f)
+//   Def. 2  Theta_k    -- performance change theta/Lambda
+//   Def. 3  Q(D,G)     -- attack effect
+//   Def. 4  phi(j, z)  -- per-core sensitivity      (system::core_sensitivity)
+//   Def. 5  Phi_k      -- per-app sensitivity       (system::app_sensitivity)
+//   Def. 6  omega      -- HT virtual center          (common::virtual_center)
+//   Def. 7  rho        -- GM <-> virtual-center distance (common::center_distance)
+//   Def. 8  eta        -- HT placement density       (common::placement_density)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace htpb::core {
+
+/// Def. 2: Theta = theta_with_HTs / theta_without. Returns 1 when the
+/// baseline is zero (an idle application is unaffected by definition).
+[[nodiscard]] double performance_change(double theta_attacked,
+                                        double theta_baseline);
+
+/// Def. 3: Q = (V * sum(Theta_attackers)) / (A * sum(Theta_victims)).
+/// V = |victims|, A = |attackers|. Throws std::invalid_argument when
+/// either set is empty (Q is undefined for infection-only experiments).
+[[nodiscard]] double attack_effect_q(std::span<const double> theta_change_attackers,
+                                     std::span<const double> theta_change_victims);
+
+/// Defs. 6-8 packaged for a placement on a concrete mesh.
+struct PlacementGeometry {
+  PointF omega;  ///< Def. 6
+  double rho;    ///< Def. 7
+  double eta;    ///< Def. 8
+  int m;         ///< number of malicious nodes
+};
+
+[[nodiscard]] PlacementGeometry placement_geometry(const MeshGeometry& geom,
+                                                   NodeId global_manager,
+                                                   std::span<const NodeId> hts);
+
+}  // namespace htpb::core

@@ -1,0 +1,52 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace htpb::core {
+
+double PlacementOptimizer::score(const Placement& p) const {
+  AttackSample s;
+  s.rho = p.rho;
+  s.eta = p.eta;
+  s.m = p.m();
+  s.phi_victims = phi_victims_;
+  s.phi_attackers = phi_attackers_;
+  return model_->predict(s);
+}
+
+OptimizerResult PlacementOptimizer::optimize(int max_hts,
+                                             int candidates_per_m,
+                                             Rng& rng) const {
+  return optimize_top_k(max_hts, candidates_per_m, 1, rng).front();
+}
+
+std::vector<OptimizerResult> PlacementOptimizer::optimize_top_k(
+    int max_hts, int candidates_per_m, int k, Rng& rng) const {
+  if (max_hts < 1) {
+    throw std::invalid_argument("PlacementOptimizer: max_hts must be >= 1");
+  }
+  if (k < 1) {
+    throw std::invalid_argument("PlacementOptimizer: k must be >= 1");
+  }
+  std::vector<OptimizerResult> all;
+  for (int m = 1; m <= max_hts; ++m) {
+    auto candidates = candidate_placements(geom_, gm_, m, candidates_per_m, rng);
+    for (auto& cand : candidates) {
+      OptimizerResult r;
+      r.predicted_q = score(cand);
+      r.placement = std::move(cand);
+      all.push_back(std::move(r));
+    }
+  }
+  const auto take = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                          all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(take),
+                    all.end(), [](const auto& a, const auto& b) {
+                      return a.predicted_q > b.predicted_q;
+                    });
+  all.resize(take);
+  return all;
+}
+
+}  // namespace htpb::core

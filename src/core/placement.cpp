@@ -1,0 +1,90 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/metrics.hpp"
+
+namespace htpb::core {
+
+std::vector<NodeId> random_placement(const MeshGeometry& geom, int m, Rng& rng,
+                                     NodeId exclude) {
+  const int n = geom.node_count();
+  if (m <= 0 || m >= n) {
+    throw std::invalid_argument("random_placement: bad HT count");
+  }
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(m));
+  auto sample = rng.sample_without_replacement(static_cast<std::uint32_t>(n),
+                                               static_cast<std::uint32_t>(m) + 1);
+  for (const auto id : sample) {
+    if (static_cast<NodeId>(id) == exclude) continue;
+    nodes.push_back(static_cast<NodeId>(id));
+    if (static_cast<int>(nodes.size()) == m) break;
+  }
+  return nodes;
+}
+
+std::vector<NodeId> clustered_placement(const MeshGeometry& geom, int m,
+                                        Coord around, NodeId exclude) {
+  const int n = geom.node_count();
+  if (m <= 0 || m >= n) {
+    throw std::invalid_argument("clustered_placement: bad HT count");
+  }
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(m));
+  for (const NodeId id : geom.nodes_by_distance(around)) {
+    if (id == exclude) continue;
+    nodes.push_back(id);
+    if (static_cast<int>(nodes.size()) == m) break;
+  }
+  return nodes;
+}
+
+Placement describe_placement(const MeshGeometry& geom, NodeId global_manager,
+                             std::vector<NodeId> nodes) {
+  Placement p;
+  const PlacementGeometry pg = placement_geometry(geom, global_manager, nodes);
+  p.nodes = std::move(nodes);
+  p.rho = pg.rho;
+  p.eta = pg.eta;
+  return p;
+}
+
+std::vector<Placement> candidate_placements(const MeshGeometry& geom,
+                                            NodeId global_manager, int m,
+                                            int count, Rng& rng) {
+  std::vector<Placement> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const int w = geom.width();
+  const int h = geom.height();
+  for (int k = 0; k < count; ++k) {
+    // Sweep cluster centers over the die and spreads from tight clusters
+    // to fully random scatters.
+    const Coord center{static_cast<int>(rng.below(static_cast<std::uint64_t>(w))),
+                       static_cast<int>(rng.below(static_cast<std::uint64_t>(h)))};
+    const double spread = rng.uniform();  // 0 = tight cluster, 1 = uniform
+    std::vector<NodeId> nodes;
+    if (spread > 0.85) {
+      nodes = random_placement(geom, m, rng, global_manager);
+    } else {
+      // Tight core of the cluster plus a randomized fringe whose radius
+      // grows with `spread`.
+      const auto order = geom.nodes_by_distance(center);
+      const int fringe = 1 + static_cast<int>(
+          spread * static_cast<double>(geom.node_count() - m - 1));
+      std::vector<NodeId> pool;
+      for (const NodeId id : order) {
+        if (id == global_manager) continue;
+        pool.push_back(id);
+        if (static_cast<int>(pool.size()) >= m + fringe) break;
+      }
+      rng.shuffle(std::span<NodeId>(pool));
+      nodes.assign(pool.begin(), pool.begin() + m);
+    }
+    out.push_back(describe_placement(geom, global_manager, std::move(nodes)));
+  }
+  return out;
+}
+
+}  // namespace htpb::core

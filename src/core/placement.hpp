@@ -1,0 +1,51 @@
+// Generation of hardware-Trojan placements: the three distributions of
+// Fig. 4 (clustered near the chip center, uniformly random, clustered in
+// one corner) plus diverse random candidates annotated with the paper's
+// (rho, eta, m) descriptors for the attack-effect model and optimizer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace htpb::core {
+
+/// A candidate placement with its Def. 6-8 descriptors.
+struct Placement {
+  std::vector<NodeId> nodes;
+  double rho = 0.0;
+  double eta = 0.0;
+  [[nodiscard]] int m() const noexcept { return static_cast<int>(nodes.size()); }
+};
+
+/// `m` HTs drawn uniformly at random (never on the excluded node, normally
+/// the global manager -- an HT inside the manager's own router would be
+/// trivially detected by its own traffic diagnostics).
+[[nodiscard]] std::vector<NodeId> random_placement(const MeshGeometry& geom,
+                                                   int m, Rng& rng,
+                                                   NodeId exclude);
+
+/// `m` HTs on the nodes closest to `around` (Fig. 4's "close to the
+/// center" / "concentrated near one corner" arms).
+[[nodiscard]] std::vector<NodeId> clustered_placement(const MeshGeometry& geom,
+                                                      int m, Coord around,
+                                                      NodeId exclude);
+
+/// Annotates a node set with (rho, eta).
+[[nodiscard]] Placement describe_placement(const MeshGeometry& geom,
+                                           NodeId global_manager,
+                                           std::vector<NodeId> nodes);
+
+/// Generates `count` structurally diverse candidates of size `m`: cluster
+/// centers swept over the mesh and spreads from tight to uniform, so the
+/// candidates cover the (rho, eta) plane the optimizer searches
+/// (Sec. IV-C: "exhaustively enumerate all possible values" of the three
+/// metrics -- we enumerate the reachable descriptor space).
+[[nodiscard]] std::vector<Placement> candidate_placements(
+    const MeshGeometry& geom, NodeId global_manager, int m, int count,
+    Rng& rng);
+
+}  // namespace htpb::core

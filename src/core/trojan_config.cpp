@@ -1,0 +1,40 @@
+#include "core/trojan_config.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace htpb::core {
+
+void encode_config(const TrojanConfig& cfg, noc::Packet& pkt) {
+  pkt.type = noc::PacketType::kConfigCmd;
+  std::uint32_t payload = 0;
+  if (cfg.active) payload |= 1U;
+  if (cfg.attenuate_victims) payload |= 2U;
+  if (cfg.boost_attackers) payload |= 4U;
+  const auto scale_pct = static_cast<std::uint32_t>(std::clamp(
+      std::lround(cfg.victim_scale * 100.0), 0L, 255L));
+  const auto boost_pct = static_cast<std::uint32_t>(std::clamp(
+      std::lround(cfg.attacker_boost * 100.0), 0L, 65535L));
+  payload |= scale_pct << 8;
+  payload |= boost_pct << 16;
+  pkt.payload = payload;
+  pkt.options.clear();
+  pkt.options.push_back(cfg.global_manager);
+  for (const NodeId a : cfg.attacker_agents) pkt.options.push_back(a);
+}
+
+std::optional<TrojanConfig> decode_config(const noc::Packet& pkt) {
+  if (pkt.type != noc::PacketType::kConfigCmd) return std::nullopt;
+  if (pkt.options.empty()) return std::nullopt;
+  TrojanConfig cfg;
+  cfg.active = (pkt.payload & 1U) != 0;
+  cfg.attenuate_victims = (pkt.payload & 2U) != 0;
+  cfg.boost_attackers = (pkt.payload & 4U) != 0;
+  cfg.victim_scale = static_cast<double>((pkt.payload >> 8) & 0xFFU) / 100.0;
+  cfg.attacker_boost = static_cast<double>(pkt.payload >> 16) / 100.0;
+  cfg.global_manager = pkt.options[0];
+  cfg.attacker_agents.assign(pkt.options.begin() + 1, pkt.options.end());
+  return cfg;
+}
+
+}  // namespace htpb::core

@@ -1,0 +1,44 @@
+// Wire format of the attacker's CONFIG_CMD packet (paper Fig. 1b).
+//
+// The paper packs the global-manager id and the activation signal into the
+// 32-bit type word. Our Packet keeps the type enum clean, so the same
+// information rides in the payload word and the OPTIONS field:
+//   payload bits:  0     activation signal (1 = attack on)
+//                  1     attenuate-victims mode enable
+//                  2     boost-attackers mode enable
+//                  8-15  victim scale, percent (payload' = payload * s/100)
+//                  16-31 attacker boost, percent (payload' = payload * b/100)
+//   options[0]   : global manager node id
+//   options[1..] : attacker agent node ids
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/packet.hpp"
+
+namespace htpb::core {
+
+struct TrojanConfig {
+  bool active = true;
+  bool attenuate_victims = true;
+  bool boost_attackers = true;
+  /// Victim requests are multiplied by this (0 < scale <= 1).
+  double victim_scale = 0.125;
+  /// Attacker requests are multiplied by this (>= 1).
+  double attacker_boost = 4.0;
+  NodeId global_manager = kInvalidNode;
+  std::vector<NodeId> attacker_agents;
+};
+
+/// Encodes the configuration into payload + options of a CONFIG_CMD packet.
+void encode_config(const TrojanConfig& cfg, noc::Packet& pkt);
+
+/// Decodes a CONFIG_CMD packet. Returns std::nullopt for malformed frames
+/// (wrong type, missing options) -- a hardware Trojan must never wedge on
+/// garbage, it just ignores it.
+[[nodiscard]] std::optional<TrojanConfig> decode_config(const noc::Packet& pkt);
+
+}  // namespace htpb::core

@@ -1,0 +1,34 @@
+#include "cpu/core_model.hpp"
+
+namespace htpb::cpu {
+
+void CoreModel::tick(Cycle /*now*/) {
+  const double throughput = duty_ * ipc_.throughput(freqs_->ghz(level_));
+  instructions_ += throughput;  // 1 cycle == 1 ns
+  if (apki_ <= 0.0 || !mem_access_) return;
+  access_accumulator_ += throughput * apki_ / 1000.0;
+  // Issue all whole accesses accumulated this cycle (normally 0 or 1).
+  while (access_accumulator_ >= 1.0) {
+    access_accumulator_ -= 1.0;
+    const bool write = rng_.chance(write_fraction_);
+    mem_access_(next_address(), write);
+    ++accesses_issued_;
+  }
+}
+
+std::uint64_t CoreModel::next_address() {
+  if (rng_.chance(shared_fraction_)) {
+    // Shared-region access: uniform over the application's shared lines.
+    return as_shared_base_ + rng_.below(as_shared_lines_);
+  }
+  // Private region: mostly-sequential walk with occasional random jumps,
+  // giving a realistic mix of spatial locality and conflict misses.
+  if (rng_.chance(0.15)) {
+    as_cursor_ = rng_.below(as_lines_);
+  } else {
+    as_cursor_ = (as_cursor_ + 1) % as_lines_;
+  }
+  return as_base_ + as_cursor_;
+}
+
+}  // namespace htpb::cpu

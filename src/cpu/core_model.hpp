@@ -1,0 +1,113 @@
+// One tile's core: retires instructions continuously at IPC(f)*f and
+// emits L1 accesses at the thread's miss rate. The memory side is wired
+// up by the tile; the core only produces an address stream of "L1
+// accesses to issue this cycle".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "cpu/frequency.hpp"
+#include "cpu/ipc_model.hpp"
+
+namespace htpb::cpu {
+
+/// Callback the tile installs to service an L1 access request.
+/// `write` distinguishes GetS/GetM traffic.
+using MemAccessFn = std::function<void(std::uint64_t address, bool write)>;
+
+class CoreModel {
+ public:
+  CoreModel(NodeId node, AppId app, IpcModel ipc, const FrequencyTable* freqs,
+            std::uint64_t seed)
+      : node_(node), app_(app), ipc_(ipc), freqs_(freqs), rng_(seed) {}
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] AppId app() const noexcept { return app_; }
+
+  void set_mem_access_fn(MemAccessFn fn) { mem_access_ = std::move(fn); }
+
+  /// Address-stream parameters (installed by the workload layer).
+  void set_address_stream(std::uint64_t base, std::uint64_t lines,
+                          std::uint64_t shared_base, std::uint64_t shared_lines,
+                          double shared_fraction, double write_fraction,
+                          double accesses_per_kilo_instr) {
+    as_base_ = base;
+    as_lines_ = lines ? lines : 1;
+    as_shared_base_ = shared_base;
+    as_shared_lines_ = shared_lines ? shared_lines : 1;
+    shared_fraction_ = shared_fraction;
+    write_fraction_ = write_fraction;
+    apki_ = accesses_per_kilo_instr;
+  }
+
+  void set_level(int level) noexcept { level_ = level; }
+  [[nodiscard]] int level() const noexcept { return level_; }
+  [[nodiscard]] double ghz() const { return freqs_->ghz(level_); }
+
+  /// Duty-cycle factor in (0, 1]: when the granted budget is below even
+  /// the lowest V/F point, the core is clock-throttled proportionally
+  /// (dark-silicon style sprint-and-rest). 1.0 = no throttling.
+  void set_duty(double duty) noexcept {
+    duty_ = duty < 0.05 ? 0.05 : (duty > 1.0 ? 1.0 : duty);
+  }
+  [[nodiscard]] double duty() const noexcept { return duty_; }
+
+  /// IPC the core would achieve at DVFS level `lvl` with the current
+  /// memory-latency estimate (the IPC(j, z, tau) of paper Def. 4).
+  [[nodiscard]] double ipc_at_level(int lvl) const {
+    return ipc_.ipc(freqs_->ghz(lvl));
+  }
+  [[nodiscard]] double current_ipc() const { return ipc_at_level(level_); }
+  /// Instructions per nanosecond at the current level -- the per-core term
+  /// IPC(j, k, f_j) * f_j of paper Def. 1.
+  [[nodiscard]] double current_throughput() const {
+    return ipc_.throughput(ghz());
+  }
+
+  IpcModel& ipc_model() noexcept { return ipc_; }
+  [[nodiscard]] const IpcModel& ipc_model() const noexcept { return ipc_; }
+
+  /// Advances the core by one NoC cycle (1 ns).
+  void tick(Cycle now);
+
+  [[nodiscard]] double instructions_retired() const noexcept {
+    return instructions_;
+  }
+  void reset_instruction_count() noexcept { instructions_ = 0.0; }
+
+  [[nodiscard]] std::uint64_t accesses_issued() const noexcept {
+    return accesses_issued_;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t next_address();
+
+  NodeId node_;
+  AppId app_;
+  IpcModel ipc_;
+  const FrequencyTable* freqs_;
+  Rng rng_;
+  MemAccessFn mem_access_;
+
+  int level_ = 0;
+  double duty_ = 1.0;
+  double instructions_ = 0.0;
+  double access_accumulator_ = 0.0;
+  std::uint64_t accesses_issued_ = 0;
+
+  // Address stream: mostly-sequential walk over a private region with a
+  // fraction of accesses to the application's shared region.
+  std::uint64_t as_base_ = 0;
+  std::uint64_t as_lines_ = 1;
+  std::uint64_t as_shared_base_ = 0;
+  std::uint64_t as_shared_lines_ = 1;
+  std::uint64_t as_cursor_ = 0;
+  double shared_fraction_ = 0.1;
+  double write_fraction_ = 0.2;
+  double apki_ = 0.0;  // NoC-bound accesses per kilo-instruction
+};
+
+}  // namespace htpb::cpu

@@ -1,0 +1,66 @@
+// Analytical per-core IPC model.
+//
+// IPC(f) = 1 / (CPI_base + MPI * L_mem(f)) where L_mem(f) is the average
+// memory round-trip expressed in *core* cycles: round_trip_ns * f_GHz.
+// Compute-bound threads (small MPI) scale almost linearly with f (high
+// power sensitivity, paper Def. 4); memory-bound threads saturate (low
+// sensitivity). The round-trip is measured live from the simulated
+// NoC + cache hierarchy, so congestion feeds back into IPC exactly as in
+// an execution-driven simulator.
+#pragma once
+
+#include <algorithm>
+
+namespace htpb::cpu {
+
+class IpcModel {
+ public:
+  IpcModel() = default;
+  /// cpi_base: cycles per instruction excluding memory stalls.
+  /// mpi: L1 misses per instruction that travel over the NoC.
+  IpcModel(double cpi_base, double mpi) : cpi_base_(cpi_base), mpi_(mpi) {}
+
+  /// IPC at frequency `ghz` with the current memory-latency estimate.
+  [[nodiscard]] double ipc(double ghz) const noexcept {
+    const double mem_cycles = mem_latency_ns_ * ghz;
+    return 1.0 / (cpi_base_ + mpi_ * mem_cycles);
+  }
+
+  /// Instructions retired per nanosecond at frequency `ghz`.
+  [[nodiscard]] double throughput(double ghz) const noexcept {
+    return ipc(ghz) * ghz;
+  }
+
+  /// Exponentially weighted update from an observed miss round trip (ns).
+  void observe_latency(double round_trip_ns) noexcept {
+    constexpr double kAlpha = 0.05;
+    mem_latency_ns_ = (1.0 - kAlpha) * mem_latency_ns_ + kAlpha * round_trip_ns;
+  }
+
+  void set_mem_latency_ns(double ns) noexcept {
+    mem_latency_ns_ = std::max(0.0, ns);
+  }
+
+  /// Smoothed update of the NoC-bound miss rate from measured L1 behaviour
+  /// (the system recalibrates this every budgeting epoch, closing the loop
+  /// between the cache simulation and the analytical IPC).
+  void update_mpi(double measured_mpi) noexcept {
+    constexpr double kAlpha = 0.3;
+    if (measured_mpi >= 0.0) {
+      mpi_ = (1.0 - kAlpha) * mpi_ + kAlpha * measured_mpi;
+    }
+  }
+  void set_mpi(double mpi) noexcept { mpi_ = std::max(0.0, mpi); }
+  [[nodiscard]] double mem_latency_ns() const noexcept {
+    return mem_latency_ns_;
+  }
+  [[nodiscard]] double cpi_base() const noexcept { return cpi_base_; }
+  [[nodiscard]] double mpi() const noexcept { return mpi_; }
+
+ private:
+  double cpi_base_ = 0.6;
+  double mpi_ = 0.005;
+  double mem_latency_ns_ = 40.0;  // bootstrap estimate; adapts online
+};
+
+}  // namespace htpb::cpu

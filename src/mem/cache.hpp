@@ -1,0 +1,139 @@
+// Generic set-associative cache with LRU replacement, parameterized on the
+// per-line metadata. Addresses are cache-line identifiers (the coherence
+// unit); byte offsets never appear in the simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace htpb::mem {
+
+template <typename LineData>
+class SetAssocCache {
+ public:
+  struct Line {
+    std::uint64_t addr = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;
+    LineData data{};
+  };
+
+  SetAssocCache(std::size_t sets, int ways)
+      : sets_(sets), ways_(ways),
+        lines_(sets * static_cast<std::size_t>(ways)) {
+    if (sets == 0 || (sets & (sets - 1)) != 0) {
+      throw std::invalid_argument("SetAssocCache: sets must be a power of 2");
+    }
+    if (ways <= 0) throw std::invalid_argument("SetAssocCache: ways must be > 0");
+  }
+
+  [[nodiscard]] std::size_t sets() const noexcept { return sets_; }
+  [[nodiscard]] int ways() const noexcept { return ways_; }
+  [[nodiscard]] std::size_t capacity_lines() const noexcept {
+    return lines_.size();
+  }
+
+  /// Finds a line and touches its LRU stamp. Returns nullptr on miss.
+  [[nodiscard]] Line* find(std::uint64_t addr) {
+    const std::size_t base = set_base(addr);
+    for (int w = 0; w < ways_; ++w) {
+      Line& line = lines_[base + static_cast<std::size_t>(w)];
+      if (line.valid && line.addr == addr) {
+        line.lru = ++clock_;
+        return &line;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Peeks without updating LRU (for statistics and assertions).
+  [[nodiscard]] const Line* peek(std::uint64_t addr) const {
+    const std::size_t base = set_base(addr);
+    for (int w = 0; w < ways_; ++w) {
+      const Line& line = lines_[base + static_cast<std::size_t>(w)];
+      if (line.valid && line.addr == addr) return &line;
+    }
+    return nullptr;
+  }
+
+  /// Allocates a line for `addr`, evicting the LRU way if necessary.
+  /// `evictable` filters victim candidates (e.g. skip lines with an active
+  /// coherence transaction); if no candidate passes, the overall LRU way is
+  /// evicted anyway. If an eviction happens, the victim is copied to
+  /// `evicted` and true is returned through `did_evict`.
+  Line& allocate(std::uint64_t addr, Line* evicted, bool* did_evict,
+                 const std::function<bool(const Line&)>& evictable = {}) {
+    if (did_evict) *did_evict = false;
+    const std::size_t base = set_base(addr);
+    // Prefer an existing or invalid slot.
+    for (int w = 0; w < ways_; ++w) {
+      Line& line = lines_[base + static_cast<std::size_t>(w)];
+      if (line.valid && line.addr == addr) {
+        line.lru = ++clock_;
+        return line;
+      }
+    }
+    for (int w = 0; w < ways_; ++w) {
+      Line& line = lines_[base + static_cast<std::size_t>(w)];
+      if (!line.valid) {
+        line = Line{};
+        line.addr = addr;
+        line.valid = true;
+        line.lru = ++clock_;
+        return line;
+      }
+    }
+    // Evict: LRU among candidates passing the filter, else global LRU.
+    Line* victim = nullptr;
+    for (int pass = 0; pass < 2 && victim == nullptr; ++pass) {
+      for (int w = 0; w < ways_; ++w) {
+        Line& line = lines_[base + static_cast<std::size_t>(w)];
+        if (pass == 0 && evictable && !evictable(line)) continue;
+        if (victim == nullptr || line.lru < victim->lru) victim = &line;
+      }
+    }
+    if (evicted) *evicted = *victim;
+    if (did_evict) *did_evict = true;
+    *victim = Line{};
+    victim->addr = addr;
+    victim->valid = true;
+    victim->lru = ++clock_;
+    return *victim;
+  }
+
+  /// Drops a line if present. Returns true when something was removed.
+  bool invalidate(std::uint64_t addr) {
+    const std::size_t base = set_base(addr);
+    for (int w = 0; w < ways_; ++w) {
+      Line& line = lines_[base + static_cast<std::size_t>(w)];
+      if (line.valid && line.addr == addr) {
+        line = Line{};
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t occupancy() const noexcept {
+    std::size_t n = 0;
+    for (const Line& line : lines_) {
+      if (line.valid) ++n;
+    }
+    return n;
+  }
+
+ private:
+  [[nodiscard]] std::size_t set_base(std::uint64_t addr) const noexcept {
+    return static_cast<std::size_t>(addr & (sets_ - 1)) *
+           static_cast<std::size_t>(ways_);
+  }
+
+  std::size_t sets_;
+  int ways_;
+  std::vector<Line> lines_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace htpb::mem

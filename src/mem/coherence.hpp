@@ -1,0 +1,49 @@
+// Shared definitions of the MESI-lite protocol spoken between L1 caches
+// and the distributed L2 directory banks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace htpb::mem {
+
+/// L1-side line states (MESI).
+enum class MesiState : std::uint8_t {
+  kInvalid = 0,
+  kShared = 1,
+  kExclusive = 2,
+  kModified = 3,
+};
+
+/// Grant codes carried in the low byte of kMemReply payloads; the upper
+/// 24 bits carry the line's directory generation number.
+inline constexpr std::uint32_t kGrantShared = 1;
+inline constexpr std::uint32_t kGrantExclusive = 2;
+
+/// The NoC delivers the two VC classes (requests vs replies) unordered, so
+/// an invalidation can overtake the data reply it logically follows. The
+/// directory therefore stamps every reply and invalidation with the
+/// line's generation -- a counter bumped on each exclusive grant -- and
+/// the L1 applies an invalidation only against line copies of the same or
+/// older generation (and poisons an in-flight fill whose generation the
+/// invalidation already covers).
+[[nodiscard]] constexpr std::uint32_t reply_payload(bool exclusive,
+                                                    std::uint32_t gen) noexcept {
+  return (exclusive ? kGrantExclusive : kGrantShared) | (gen << 8);
+}
+[[nodiscard]] constexpr std::uint32_t reply_grant(std::uint32_t payload) noexcept {
+  return payload & 0xFFU;
+}
+[[nodiscard]] constexpr std::uint32_t reply_gen(std::uint32_t payload) noexcept {
+  return payload >> 8;
+}
+
+/// The coherence home (L2 bank) of a line: low-order interleaving across
+/// all nodes, as in Table I's "64 KB slice/node" shared L2.
+[[nodiscard]] constexpr NodeId home_of(std::uint64_t line_addr,
+                                       int node_count) noexcept {
+  return static_cast<NodeId>(line_addr % static_cast<std::uint64_t>(node_count));
+}
+
+}  // namespace htpb::mem

@@ -1,0 +1,222 @@
+#include "mem/l2_bank.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace htpb::mem {
+
+namespace {
+void add_sharer(std::vector<NodeId>& sharers, NodeId n) {
+  if (std::find(sharers.begin(), sharers.end(), n) == sharers.end()) {
+    sharers.push_back(n);
+  }
+}
+void remove_sharer(std::vector<NodeId>& sharers, NodeId n) {
+  sharers.erase(std::remove(sharers.begin(), sharers.end(), n), sharers.end());
+}
+}  // namespace
+
+void L2Bank::on_packet(const noc::Packet& pkt) {
+  switch (pkt.type) {
+    case noc::PacketType::kMemReadReq:
+      ++stats_.gets;
+      handle_request(pkt.tag, Request{pkt.src, false, pkt.src_app});
+      break;
+    case noc::PacketType::kMemWriteReq:
+      ++stats_.getm;
+      handle_request(pkt.tag, Request{pkt.src, true, pkt.src_app});
+      break;
+    case noc::PacketType::kWriteback: {
+      const auto it = busy_.find(pkt.tag);
+      if (it != busy_.end() && it->second.acks_needed > 0) {
+        on_ack(pkt.tag);  // recall answered with data
+      } else {
+        handle_eviction_writeback(pkt);
+      }
+      break;
+    }
+    case noc::PacketType::kCohAck:
+      on_ack(pkt.tag);
+      break;
+    default:
+      break;
+  }
+}
+
+void L2Bank::handle_request(std::uint64_t addr, const Request& req) {
+  const auto it = busy_.find(addr);
+  if (it != busy_.end()) {
+    it->second.waiting.push_back(req);
+    return;
+  }
+  start_request(addr, req);
+}
+
+void L2Bank::start_request(std::uint64_t addr, const Request& req) {
+  auto* line = cache_.find(addr);
+  if (line == nullptr) {
+    // L2 miss: fetch from main memory (fixed-latency event; DESIGN.md
+    // documents this substitution for dedicated memory-controller nodes).
+    ++stats_.memory_fetches;
+    Txn txn;
+    txn.current = req;
+    txn.fetching = true;
+    busy_.emplace(addr, std::move(txn));
+    engine_->schedule_in(cfg_.mem_latency, [this, addr] { on_fetch_done(addr); });
+    return;
+  }
+  ++stats_.hits;
+  serve_from_directory(addr, *line, req);
+}
+
+void L2Bank::serve_from_directory(std::uint64_t addr,
+                                  SetAssocCache<DirEntry>::Line& line,
+                                  const Request& req) {
+  DirEntry& dir = line.data;
+  if (dir.state == DirState::kModified && dir.owner != req.requester &&
+      dir.owner != kInvalidNode) {
+    // Dirty at another core: recall the line first.
+    ++stats_.recalls;
+    Txn txn;
+    txn.current = req;
+    txn.acks_needed = 1;
+    busy_.emplace(addr, std::move(txn));
+    send_invalidate(dir.owner, addr, dir.gen);
+    dir.owner = kInvalidNode;
+    dir.state = DirState::kShared;
+    dir.sharers.clear();
+    return;
+  }
+  if (!req.write) {
+    add_sharer(dir.sharers, req.requester);
+    if (dir.state == DirState::kModified && dir.owner == req.requester) {
+      // Owner re-reading its own dirty line.
+      send_reply(req, addr, /*exclusive=*/true, dir.gen);
+      return;
+    }
+    dir.state = DirState::kShared;
+    send_reply(req, addr, /*exclusive=*/false, dir.gen);
+    return;
+  }
+  // GetM: invalidate all other sharers, then grant ownership.
+  std::vector<NodeId> to_invalidate;
+  for (const NodeId s : dir.sharers) {
+    if (s != req.requester) to_invalidate.push_back(s);
+  }
+  if (to_invalidate.empty()) {
+    dir.state = DirState::kModified;
+    dir.owner = req.requester;
+    dir.sharers.clear();
+    dir.sharers.push_back(req.requester);
+    ++dir.gen;  // new write epoch
+    send_reply(req, addr, /*exclusive=*/true, dir.gen);
+    return;
+  }
+  Txn txn;
+  txn.current = req;
+  txn.acks_needed = static_cast<int>(to_invalidate.size());
+  busy_.emplace(addr, std::move(txn));
+  for (const NodeId s : to_invalidate) send_invalidate(s, addr, dir.gen);
+  dir.sharers.clear();
+}
+
+void L2Bank::on_fetch_done(std::uint64_t addr) {
+  const auto it = busy_.find(addr);
+  assert(it != busy_.end() && it->second.fetching);
+  it->second.fetching = false;
+
+  // Install the line; victims with live L1 copies get fire-and-forget
+  // invalidations (their acks, if any, find no transaction and are
+  // dropped -- a documented simplification).
+  SetAssocCache<DirEntry>::Line evicted;
+  bool did_evict = false;
+  auto& line = cache_.allocate(addr, &evicted, &did_evict,
+                               [this](const SetAssocCache<DirEntry>::Line& l) {
+                                 return !busy_.contains(l.addr);
+                               });
+  if (did_evict) {
+    ++stats_.eviction_writebacks;
+    for (const NodeId s : evicted.data.sharers) {
+      ++stats_.invalidations_sent;
+      send_invalidate(s, evicted.addr, evicted.data.gen);
+    }
+  }
+  line.data = DirEntry{};
+  serve_busy_line_current(addr, line);
+}
+
+void L2Bank::on_ack(std::uint64_t addr) {
+  const auto it = busy_.find(addr);
+  if (it == busy_.end()) return;  // stale ack from a fire-and-forget inv
+  Txn& txn = it->second;
+  if (txn.acks_needed == 0) return;
+  if (--txn.acks_needed > 0) return;
+  auto* line = cache_.find(addr);
+  if (line == nullptr) {
+    // The line was evicted while the transaction was in flight (possible
+    // only via the fire-and-forget path); restart through memory.
+    const Request req = txn.current;
+    auto waiting = std::move(txn.waiting);
+    busy_.erase(it);
+    start_request(addr, req);
+    auto again = busy_.find(addr);
+    if (again != busy_.end()) {
+      for (auto& w : waiting) again->second.waiting.push_back(w);
+    } else {
+      for (auto& w : waiting) handle_request(addr, w);
+    }
+    return;
+  }
+  serve_busy_line_current(addr, *line);
+}
+
+void L2Bank::handle_eviction_writeback(const noc::Packet& pkt) {
+  auto* line = cache_.find(pkt.tag);
+  if (line == nullptr) return;  // line already evicted from L2
+  DirEntry& dir = line->data;
+  if (dir.state == DirState::kModified && dir.owner == pkt.src) {
+    dir.state = DirState::kShared;
+    dir.owner = kInvalidNode;
+  }
+  remove_sharer(dir.sharers, pkt.src);
+}
+
+void L2Bank::serve_busy_line_current(std::uint64_t addr,
+                                     SetAssocCache<DirEntry>::Line& line) {
+  const auto it = busy_.find(addr);
+  assert(it != busy_.end());
+  const Request req = it->second.current;
+  auto waiting = std::move(it->second.waiting);
+  busy_.erase(it);
+  serve_from_directory(addr, line, req);
+  // serve_from_directory may have opened a follow-up transaction (e.g. a
+  // GetM that still needs invalidation acks); park the waiters behind it,
+  // otherwise replay them in arrival order.
+  const auto again = busy_.find(addr);
+  if (again != busy_.end()) {
+    for (auto& w : waiting) again->second.waiting.push_back(w);
+  } else {
+    for (auto& w : waiting) handle_request(addr, w);
+  }
+}
+
+void L2Bank::send_reply(const Request& req, std::uint64_t addr,
+                        bool exclusive, std::uint32_t gen) {
+  ++stats_.replies_sent;
+  auto pkt = net_->make_packet(node_, req.requester,
+                               noc::PacketType::kMemReply,
+                               reply_payload(exclusive, gen));
+  pkt->tag = addr;
+  pkt->src_app = req.app;
+  net_->send(std::move(pkt));
+}
+
+void L2Bank::send_invalidate(NodeId target, std::uint64_t addr,
+                             std::uint32_t gen) {
+  auto pkt = net_->make_packet(node_, target, noc::PacketType::kCohInvalidate,
+                               gen);
+  pkt->tag = addr;
+  net_->send(std::move(pkt));
+}
+
+}  // namespace htpb::mem

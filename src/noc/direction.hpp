@@ -1,0 +1,64 @@
+// Port directions of a 5-port 2D-mesh router.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/geometry.hpp"
+
+namespace htpb::noc {
+
+enum class Direction : std::uint8_t {
+  kLocal = 0,
+  kNorth = 1,
+  kEast = 2,
+  kSouth = 3,
+  kWest = 4,
+};
+
+inline constexpr int kNumPorts = 5;
+
+[[nodiscard]] constexpr int port_index(Direction d) noexcept {
+  return static_cast<int>(d);
+}
+
+[[nodiscard]] constexpr Direction opposite(Direction d) noexcept {
+  switch (d) {
+    case Direction::kNorth: return Direction::kSouth;
+    case Direction::kSouth: return Direction::kNorth;
+    case Direction::kEast: return Direction::kWest;
+    case Direction::kWest: return Direction::kEast;
+    case Direction::kLocal: return Direction::kLocal;
+  }
+  return Direction::kLocal;
+}
+
+/// Coordinate displacement of one hop in the given direction.
+/// North decreases y (row 0 is the top of the chip).
+[[nodiscard]] constexpr Coord step(Coord c, Direction d) noexcept {
+  switch (d) {
+    case Direction::kNorth: return Coord{c.x, c.y - 1};
+    case Direction::kSouth: return Coord{c.x, c.y + 1};
+    case Direction::kEast: return Coord{c.x + 1, c.y};
+    case Direction::kWest: return Coord{c.x - 1, c.y};
+    case Direction::kLocal: return c;
+  }
+  return c;
+}
+
+[[nodiscard]] constexpr const char* to_string(Direction d) noexcept {
+  switch (d) {
+    case Direction::kLocal: return "L";
+    case Direction::kNorth: return "N";
+    case Direction::kEast: return "E";
+    case Direction::kSouth: return "S";
+    case Direction::kWest: return "W";
+  }
+  return "?";
+}
+
+inline constexpr std::array<Direction, kNumPorts> kAllPorts = {
+    Direction::kLocal, Direction::kNorth, Direction::kEast, Direction::kSouth,
+    Direction::kWest};
+
+}  // namespace htpb::noc

@@ -1,0 +1,23 @@
+// Inspection hook between a router's input buffer and its routing
+// computation stage -- exactly where the paper's hardware Trojan sits
+// (Fig. 2b). The router calls the chain once per packet, on the head
+// flit's first route-computation attempt. Inspectors may mutate the
+// packet in place (false-data injection).
+#pragma once
+
+#include "common/types.hpp"
+#include "noc/packet.hpp"
+
+namespace htpb::noc {
+
+class PacketInspector {
+ public:
+  virtual ~PacketInspector() = default;
+
+  /// Called when `pkt`'s head flit enters route computation in router
+  /// `router`. Mutating `payload` models in-flight tampering; honest
+  /// routers have no inspectors.
+  virtual void inspect(Packet& pkt, NodeId router, Cycle now) = 0;
+};
+
+}  // namespace htpb::noc

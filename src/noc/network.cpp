@@ -1,0 +1,182 @@
+#include "noc/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace htpb::noc {
+
+MeshNetwork::MeshNetwork(sim::Engine& engine, MeshGeometry geom, NocConfig cfg)
+    : engine_(engine), geom_(geom), cfg_(cfg),
+      routing_(make_routing(cfg.routing)) {
+  const int n = geom_.node_count();
+  routers_.reserve(static_cast<std::size_t>(n));
+  nis_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    routers_.push_back(
+        std::make_unique<Router>(id, geom_, cfg_, routing_.get()));
+    nis_.push_back(std::make_unique<NetworkInterface>(id, cfg_));
+  }
+  // Wire up mesh connectivity: a port is connected iff the neighbour exists.
+  for (int i = 0; i < n; ++i) {
+    const Coord c = geom_.coord_of(static_cast<NodeId>(i));
+    for (const Direction d :
+         {Direction::kNorth, Direction::kEast, Direction::kSouth,
+          Direction::kWest}) {
+      routers_[static_cast<std::size_t>(i)]->set_port_connected(
+          d, geom_.contains(step(c, d)));
+    }
+  }
+  engine_.add_tickable(this);
+}
+
+PacketPtr MeshNetwork::make_packet(NodeId src, NodeId dst, PacketType type,
+                                   std::uint32_t payload) {
+  if (!geom_.contains(src) || !geom_.contains(dst)) {
+    throw std::out_of_range("make_packet: node id outside mesh");
+  }
+  auto pkt = std::make_shared<Packet>();
+  pkt->id = next_packet_id_++;
+  pkt->src = src;
+  pkt->dst = dst;
+  pkt->type = type;
+  pkt->payload = payload;
+  switch (type) {
+    case PacketType::kMemReply:
+    case PacketType::kWriteback:
+    case PacketType::kGeneric:
+      pkt->size_flits = cfg_.data_packet_flits;
+      break;
+    case PacketType::kPowerRequest:
+    case PacketType::kPowerGrant:
+    case PacketType::kConfigCmd:
+      pkt->size_flits = cfg_.command_packet_flits;
+      break;
+    default:
+      pkt->size_flits = cfg_.meta_packet_flits;
+      break;
+  }
+  return pkt;
+}
+
+void MeshNetwork::send(PacketPtr pkt) {
+  pkt->birth = engine_.now();
+  ++stats_.packets_sent;
+  if (pkt->src == pkt->dst) {
+    // Loopback: the tile's NI short-circuits the mesh with one cycle of
+    // latency (local delivery never enters a router).
+    NetworkInterface* ni = nis_[pkt->src].get();
+    engine_.schedule_in(1, [this, ni, pkt] {
+      pkt->delivered = engine_.now();
+      record_delivery(*pkt);
+      ni->deliver_local(*pkt);
+    });
+    return;
+  }
+  nis_[pkt->src]->enqueue(std::move(pkt));
+}
+
+void MeshNetwork::record_delivery(const Packet& pkt) {
+  ++stats_.packets_delivered;
+  const auto lat = static_cast<double>(pkt.delivered - pkt.birth);
+  stats_.latency_all.add(lat);
+  switch (pkt.type) {
+    case PacketType::kPowerRequest:
+      ++stats_.power_requests_delivered;
+      if (pkt.tampered) ++stats_.tampered_power_requests_delivered;
+      stats_.latency_power_req.add(lat);
+      break;
+    case PacketType::kMemReadReq:
+    case PacketType::kMemWriteReq:
+    case PacketType::kMemReply:
+    case PacketType::kWriteback:
+      stats_.latency_mem.add(lat);
+      break;
+    default:
+      break;
+  }
+}
+
+void MeshNetwork::tick(Cycle now) {
+  // Phase 0: drain ejections (handlers may enqueue replies this cycle).
+  for (std::size_t i = 0; i < nis_.size(); ++i) {
+    freed_vcs_.clear();
+    nis_[i]->tick_eject(now, freed_vcs_);
+    for (const int vc : freed_vcs_) {
+      routers_[i]->add_output_credit(Direction::kLocal, vc);
+    }
+  }
+
+  // Phase 1: switch allocation / traversal in every router, staging link
+  // transfers and credit returns (applied after all routers evaluated).
+  transfers_.clear();
+  credits_.clear();
+  for (auto& r : routers_) r->tick_sa_st(now, transfers_, credits_);
+
+  // Phase 2: route computation / VC allocation for newly arrived heads.
+  for (auto& r : routers_) r->tick_rc_va(now);
+
+  // Phase 3: NI injection (one flit per node per cycle).
+  for (std::size_t i = 0; i < nis_.size(); ++i) {
+    Flit flit;
+    if (nis_[i]->tick_inject(now, flit)) {
+      routers_[i]->accept_flit(
+          Direction::kLocal, flit,
+          now + static_cast<Cycle>(cfg_.link_latency));
+    }
+  }
+
+  // Phase 4: apply staged credits (visible next cycle).
+  for (const CreditReturn& cr : credits_) {
+    if (cr.in_port == Direction::kLocal) {
+      nis_[cr.router]->return_credit(cr.vc);
+    } else {
+      const Coord up = step(geom_.coord_of(cr.router), cr.in_port);
+      routers_[geom_.id_of(up)]->add_output_credit(opposite(cr.in_port),
+                                                   cr.vc);
+    }
+  }
+
+  // Phase 5: apply staged link transfers (arrive next cycle).
+  for (LinkTransfer& tr : transfers_) {
+    const Cycle arrival = now + static_cast<Cycle>(cfg_.link_latency);
+    if (tr.out_port == Direction::kLocal) {
+      if (tr.flit.is_tail) {
+        // Record delivery stats when the tail reaches the NI.
+        tr.flit.pkt->delivered = arrival;
+        record_delivery(*tr.flit.pkt);
+      }
+      nis_[tr.from_router]->eject(tr.flit, arrival);
+    } else {
+      const Coord next = step(geom_.coord_of(tr.from_router), tr.out_port);
+      routers_[geom_.id_of(next)]->accept_flit(opposite(tr.out_port), tr.flit,
+                                               arrival);
+    }
+  }
+}
+
+bool MeshNetwork::idle() const noexcept {
+  for (const auto& r : routers_) {
+    if (r->buffered_flits() != 0) return false;
+  }
+  for (const auto& ni : nis_) {
+    if (ni->pending_injections() != 0) return false;
+  }
+  return true;
+}
+
+RouterStats MeshNetwork::total_router_stats() const {
+  RouterStats total;
+  for (const auto& r : routers_) {
+    const RouterStats& s = r->stats();
+    total.flits_forwarded += s.flits_forwarded;
+    total.packets_routed += s.packets_routed;
+    total.power_requests_seen += s.power_requests_seen;
+    total.flits_ejected += s.flits_ejected;
+    total.sa_conflict_stalls += s.sa_conflict_stalls;
+    total.va_stalls += s.va_stalls;
+  }
+  return total;
+}
+
+}  // namespace htpb::noc

@@ -1,0 +1,93 @@
+// The 2D-mesh network: owns routers, links and network interfaces, and
+// performs the deterministic two-phase per-cycle evaluation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "noc/config.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/packet.hpp"
+#include "noc/router.hpp"
+#include "noc/routing.hpp"
+#include "sim/engine.hpp"
+
+namespace htpb::noc {
+
+struct NetworkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t power_requests_delivered = 0;
+  std::uint64_t tampered_power_requests_delivered = 0;
+  RunningStat latency_all;
+  RunningStat latency_power_req;
+  RunningStat latency_mem;
+
+  void reset() { *this = NetworkStats{}; }
+};
+
+class MeshNetwork : public sim::Tickable {
+ public:
+  MeshNetwork(sim::Engine& engine, MeshGeometry geom, NocConfig cfg);
+
+  MeshNetwork(const MeshNetwork&) = delete;
+  MeshNetwork& operator=(const MeshNetwork&) = delete;
+
+  [[nodiscard]] const MeshGeometry& geometry() const noexcept { return geom_; }
+  [[nodiscard]] const NocConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+  /// Creates a packet with a fresh id and the wire size implied by `type`.
+  [[nodiscard]] PacketPtr make_packet(NodeId src, NodeId dst, PacketType type,
+                                      std::uint32_t payload = 0);
+
+  /// Injects a packet from its source node's NI. Local (src == dst)
+  /// packets are delivered after one cycle without touching the mesh.
+  void send(PacketPtr pkt);
+
+  void set_handler(NodeId node, DeliveryHandler handler) {
+    nis_[node]->set_handler(std::move(handler));
+  }
+
+  [[nodiscard]] Router& router(NodeId id) noexcept { return *routers_[id]; }
+  [[nodiscard]] const Router& router(NodeId id) const noexcept {
+    return *routers_[id];
+  }
+  [[nodiscard]] NetworkInterface& ni(NodeId id) noexcept { return *nis_[id]; }
+
+  void add_inspector(NodeId router_id, PacketInspector* inspector) {
+    routers_[router_id]->add_inspector(inspector);
+  }
+
+  void tick(Cycle now) override;
+
+  [[nodiscard]] NetworkStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+
+  /// True when no flit is buffered or in flight anywhere and no injection
+  /// is pending (used by drain-style tests).
+  [[nodiscard]] bool idle() const noexcept;
+
+  /// Aggregated router statistics.
+  [[nodiscard]] RouterStats total_router_stats() const;
+
+ private:
+  void record_delivery(const Packet& pkt);
+
+  sim::Engine& engine_;
+  MeshGeometry geom_;
+  NocConfig cfg_;
+  std::unique_ptr<RoutingAlgorithm> routing_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  std::vector<LinkTransfer> transfers_;
+  std::vector<CreditReturn> credits_;
+  std::vector<int> freed_vcs_;
+  NetworkStats stats_;
+  PacketId next_packet_id_ = 1;
+};
+
+}  // namespace htpb::noc

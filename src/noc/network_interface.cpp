@@ -1,0 +1,92 @@
+#include "noc/network_interface.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace htpb::noc {
+
+NetworkInterface::NetworkInterface(NodeId id, const NocConfig& cfg)
+    : id_(id), cfg_(cfg),
+      credits_(static_cast<std::size_t>(cfg.vcs), cfg.vc_depth) {}
+
+void NetworkInterface::enqueue(PacketPtr pkt) {
+  const int cls = vc_class_of(pkt->type);
+  auto& state = classes_[cls];
+  state.queue.push_back(std::move(pkt));
+  const std::size_t depth = pending_injections();
+  stats_.inject_queue_peak = std::max<std::uint64_t>(stats_.inject_queue_peak, depth);
+}
+
+std::size_t NetworkInterface::pending_injections() const noexcept {
+  std::size_t n = classes_[0].queue.size() + classes_[1].queue.size();
+  for (const auto& cls : classes_) {
+    if (!cls.flits.empty()) ++n;
+  }
+  return n;
+}
+
+bool NetworkInterface::try_inject_class(int cls, Flit& out) {
+  ClassState& state = classes_[cls];
+  if (state.flits.empty()) {
+    if (state.queue.empty()) return false;
+    // Start a new packet: pick a VC of this class round-robin. The NI may
+    // keep one packet in flight per class; flits of one packet always use
+    // one VC (wormhole).
+    const int base = cfg_.class_base(cls);
+    const int span = cfg_.vcs_per_class();
+    state.vc = base + state.rr_vc % span;
+    state.rr_vc = (state.rr_vc + 1) % span;
+    state.flits = make_flits(state.queue.front());
+    state.queue.pop_front();
+    state.cursor = 0;
+    for (auto& f : state.flits) f.vc = static_cast<std::int8_t>(state.vc);
+  }
+  if (credits_[static_cast<std::size_t>(state.vc)] <= 0) return false;
+  out = state.flits[state.cursor];
+  --credits_[static_cast<std::size_t>(state.vc)];
+  ++state.cursor;
+  ++stats_.flits_injected;
+  if (state.cursor == state.flits.size()) {
+    ++stats_.packets_injected;
+    state.flits.clear();
+    state.cursor = 0;
+    state.vc = -1;
+  }
+  return true;
+}
+
+bool NetworkInterface::tick_inject(Cycle /*now*/, Flit& out) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int cls = (rr_class_ + attempt) % 2;
+    if (try_inject_class(cls, out)) {
+      rr_class_ = (cls + 1) % 2;
+      return true;
+    }
+  }
+  return false;
+}
+
+void NetworkInterface::eject(const Flit& flit, Cycle arrival) {
+  eject_queue_.push_back(EjectedFlit{flit, arrival});
+}
+
+void NetworkInterface::tick_eject(Cycle now, std::vector<int>& freed_vcs) {
+  while (!eject_queue_.empty() && eject_queue_.front().arrival <= now) {
+    EjectedFlit entry = std::move(eject_queue_.front());
+    eject_queue_.pop_front();
+    freed_vcs.push_back(entry.flit.vc);
+    if (entry.flit.is_tail) {
+      Packet& pkt = *entry.flit.pkt;
+      pkt.delivered = now;
+      ++stats_.packets_delivered;
+      if (handler_) handler_(pkt);
+    }
+  }
+}
+
+void NetworkInterface::deliver_local(const Packet& pkt) {
+  ++stats_.packets_delivered;
+  if (handler_) handler_(pkt);
+}
+
+}  // namespace htpb::noc

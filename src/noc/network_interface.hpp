@@ -1,0 +1,91 @@
+// Per-tile network interface: packetization, injection with credit
+// tracking toward the router's local input port, and reassembly/delivery
+// on ejection.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/config.hpp"
+#include "noc/packet.hpp"
+
+namespace htpb::noc {
+
+struct NiStats {
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t flits_injected = 0;
+  std::uint64_t inject_queue_peak = 0;
+};
+
+/// Called when a packet addressed to this node has fully arrived.
+using DeliveryHandler = std::function<void(const Packet&)>;
+
+class NetworkInterface {
+ public:
+  NetworkInterface(NodeId id, const NocConfig& cfg);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+  void set_handler(DeliveryHandler handler) { handler_ = std::move(handler); }
+
+  /// Queues a packet for injection. The network sets id/birth/size before
+  /// calling this.
+  void enqueue(PacketPtr pkt);
+
+  /// Stages at most one flit into the router's local input port per cycle
+  /// (local port bandwidth), alternating between the two VC classes.
+  /// Returns true and fills `out` when a flit was injected.
+  bool tick_inject(Cycle now, Flit& out);
+
+  /// Accepts an ejected flit from the router (arrives at `arrival`).
+  void eject(const Flit& flit, Cycle arrival);
+
+  /// Drains ejected flits that have arrived; delivers packets on tails.
+  /// Freed buffer slots are reported as credits for the router's local
+  /// output port through `freed_vcs`.
+  void tick_eject(Cycle now, std::vector<int>& freed_vcs);
+
+  /// Credit returned from the router's local input buffer.
+  void return_credit(int vc) noexcept {
+    ++credits_[static_cast<std::size_t>(vc)];
+  }
+  [[nodiscard]] int credits(int vc) const noexcept {
+    return credits_[static_cast<std::size_t>(vc)];
+  }
+
+  /// Immediate local delivery for src == dst packets (no NoC traversal).
+  void deliver_local(const Packet& pkt);
+
+  [[nodiscard]] std::size_t pending_injections() const noexcept;
+  [[nodiscard]] const NiStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct ClassState {
+    std::deque<PacketPtr> queue;
+    std::vector<Flit> flits;    // flits of the in-flight packet
+    std::size_t cursor = 0;     // next flit to inject
+    int vc = -1;                // VC assigned to the in-flight packet
+    int rr_vc = 0;              // round-robin VC choice within the class
+  };
+
+  struct EjectedFlit {
+    Flit flit;
+    Cycle arrival;
+  };
+
+  bool try_inject_class(int cls, Flit& out);
+
+  NodeId id_;
+  NocConfig cfg_;
+  DeliveryHandler handler_;
+  std::vector<int> credits_;
+  ClassState classes_[2];
+  int rr_class_ = 0;
+  std::deque<EjectedFlit> eject_queue_;
+  NiStats stats_;
+};
+
+}  // namespace htpb::noc

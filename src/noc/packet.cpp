@@ -1,0 +1,46 @@
+#include "noc/packet.hpp"
+
+#include <sstream>
+
+namespace htpb::noc {
+
+const char* to_string(PacketType t) noexcept {
+  switch (t) {
+    case PacketType::kGeneric: return "GENERIC";
+    case PacketType::kPowerRequest: return "POWER_REQ";
+    case PacketType::kPowerGrant: return "POWER_GRANT";
+    case PacketType::kConfigCmd: return "CONFIG_CMD";
+    case PacketType::kMemReadReq: return "MEM_READ";
+    case PacketType::kMemWriteReq: return "MEM_WRITE";
+    case PacketType::kMemReply: return "MEM_REPLY";
+    case PacketType::kCohInvalidate: return "COH_INV";
+    case PacketType::kCohAck: return "COH_ACK";
+    case PacketType::kWriteback: return "WRITEBACK";
+  }
+  return "?";
+}
+
+std::string Packet::to_string() const {
+  std::ostringstream os;
+  os << noc::to_string(type) << " #" << id << " " << src << "->" << dst
+     << " payload=" << payload << " flits=" << size_flits;
+  if (tampered) os << " [TAMPERED from " << original_payload << "]";
+  return os.str();
+}
+
+std::vector<Flit> make_flits(PacketPtr pkt) {
+  const int n = pkt->size_flits < 1 ? 1 : pkt->size_flits;
+  std::vector<Flit> flits;
+  flits.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Flit f;
+    f.pkt = pkt;
+    f.index = static_cast<std::uint16_t>(i);
+    f.is_head = (i == 0);
+    f.is_tail = (i == n - 1);
+    flits.push_back(std::move(f));
+  }
+  return flits;
+}
+
+}  // namespace htpb::noc

@@ -1,0 +1,107 @@
+// Packet and flit formats.
+//
+// The paper's packet frame (Fig. 1) has a 16-bit source, 16-bit destination,
+// 32-bit type word and 32-bit payload, plus an optional OPTIONS field. With
+// Table I's 72-bit flits this gives: 1-flit meta packets (coherence/control
+// without data), 2-flit command packets (power requests / Trojan
+// configuration, which carry the type word and payload) and 5-flit data
+// packets (cache-line transfers).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace htpb::noc {
+
+enum class PacketType : std::uint32_t {
+  kGeneric = 0,
+  /// Power budget request: payload = requested power in milliwatts (paper
+  /// Fig. 1a, POWER_REQ).
+  kPowerRequest = 1,
+  /// Global manager's reply: payload = granted power in milliwatts.
+  kPowerGrant = 2,
+  /// Hardware-Trojan configuration command (paper Fig. 1b, CONFIG_CMD).
+  /// The type word's low bits carry the activation signal; options carry
+  /// the global manager id and the attacker agents (see core/trojan_config).
+  kConfigCmd = 3,
+  /// Cache read miss request (GetS).
+  kMemReadReq = 4,
+  /// Cache write/upgrade miss request (GetM).
+  kMemWriteReq = 5,
+  /// Data reply carrying a cache line.
+  kMemReply = 6,
+  /// Coherence invalidation from a directory to a sharer.
+  kCohInvalidate = 7,
+  /// Invalidation acknowledgement.
+  kCohAck = 8,
+  /// Dirty-line writeback to the directory / memory.
+  kWriteback = 9,
+};
+
+[[nodiscard]] const char* to_string(PacketType t) noexcept;
+
+/// Virtual channels are partitioned into two classes to break
+/// request/reply protocol deadlock: class 0 carries requests and control
+/// traffic, class 1 carries replies/acknowledgements.
+[[nodiscard]] constexpr int vc_class_of(PacketType t) noexcept {
+  switch (t) {
+    case PacketType::kPowerGrant:
+    case PacketType::kMemReply:
+    case PacketType::kCohAck:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+struct Packet {
+  PacketId id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  PacketType type = PacketType::kGeneric;
+  /// 32-bit payload word (power request value for kPowerRequest).
+  std::uint32_t payload = 0;
+  /// Optional OPTIONS words (attacker list for kConfigCmd, address bits
+  /// for memory traffic, ...).
+  std::vector<std::uint32_t> options;
+  /// Number of flits on the wire, set from packet type at send time.
+  int size_flits = 1;
+  /// Opaque correlation tag for the memory subsystem (MSHR matching).
+  std::uint64_t tag = 0;
+  /// Application that generated the packet (bookkeeping for metrics).
+  AppId src_app = kInvalidApp;
+
+  Cycle birth = 0;
+  Cycle delivered = 0;
+
+  /// Set by a hardware Trojan when it shrinks a victim's payload in flight.
+  bool tampered = false;
+  /// Set by a hardware Trojan when it inflates an accomplice's payload.
+  bool boosted = false;
+  std::uint32_t original_payload = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/// One flit of a packet. All flits of a packet share ownership of the
+/// Packet object; only the head flit triggers route computation and
+/// inspection, only the tail flit triggers delivery.
+struct Flit {
+  PacketPtr pkt;
+  std::uint16_t index = 0;
+  bool is_head = false;
+  bool is_tail = false;
+  /// VC assigned on the current link (rewritten hop by hop).
+  std::int8_t vc = -1;
+};
+
+/// Splits a packet into its flit sequence.
+[[nodiscard]] std::vector<Flit> make_flits(PacketPtr pkt);
+
+}  // namespace htpb::noc

@@ -1,0 +1,174 @@
+#include "noc/router.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace htpb::noc {
+
+Router::Router(NodeId id, const MeshGeometry& geom, const NocConfig& cfg,
+               const RoutingAlgorithm* routing)
+    : id_(id), geom_(geom), coord_(geom.coord_of(id)), cfg_(cfg),
+      routing_(routing) {
+  if (cfg_.vcs < 2 || cfg_.vcs % 2 != 0) {
+    throw std::invalid_argument("Router: vcs must be even and >= 2");
+  }
+  for (auto& port : in_) {
+    port.vcs.resize(static_cast<std::size_t>(cfg_.vcs));
+  }
+  for (auto& port : out_) {
+    port.vcs.resize(static_cast<std::size_t>(cfg_.vcs));
+    for (auto& vc : port.vcs) vc.credits = cfg_.vc_depth;
+  }
+  out_[port_index(Direction::kLocal)].connected = true;
+}
+
+void Router::set_port_connected(Direction p, bool connected) {
+  out_[port_index(p)].connected = connected;
+}
+
+void Router::accept_flit(Direction in_port, const Flit& flit, Cycle arrival) {
+  InputVc& ivc = input_vc(in_port, flit.vc);
+  assert(static_cast<int>(ivc.fifo.size()) < cfg_.vc_depth &&
+         "credit protocol violated: input buffer overflow");
+  ivc.fifo.push_back(BufferedFlit{flit, arrival, false});
+  ++buffered_flits_;
+}
+
+int Router::free_credits_for_class(Direction p, int vc_class) const noexcept {
+  const OutputPort& port = out_[port_index(p)];
+  if (!port.connected) return -1;
+  int sum = 0;
+  const int base = cfg_.class_base(vc_class);
+  for (int v = base; v < base + cfg_.vcs_per_class(); ++v) {
+    sum += port.vcs[static_cast<std::size_t>(v)].credits;
+  }
+  return sum;
+}
+
+void Router::tick_sa_st(Cycle now, std::vector<LinkTransfer>& transfers,
+                        std::vector<CreditReturn>& credits) {
+  if (buffered_flits_ == 0) return;
+  const int candidates = kNumPorts * cfg_.vcs;
+  bool input_used[kNumPorts] = {false, false, false, false, false};
+
+  for (int pi = 0; pi < kNumPorts; ++pi) {
+    OutputPort& oport = out_[pi];
+    if (!oport.connected || oport.active_inputs == 0) continue;
+    const auto out_dir = static_cast<Direction>(pi);
+
+    for (int k = 0; k < candidates; ++k) {
+      const int cand = (oport.rr_candidate + k) % candidates;
+      const int in_pi = cand / cfg_.vcs;
+      const int in_vc = cand % cfg_.vcs;
+      if (input_used[in_pi]) continue;
+      InputVc& ivc = in_[in_pi].vcs[static_cast<std::size_t>(in_vc)];
+      if (!ivc.active || ivc.out_port != out_dir || ivc.fifo.empty()) continue;
+
+      const BufferedFlit& front = ivc.fifo.front();
+      // The flit spends cfg_.router_latency cycles in this router before it
+      // may traverse the switch.
+      if (now < front.arrival + static_cast<Cycle>(cfg_.router_latency)) {
+        continue;
+      }
+      OutputVc& ovc = oport.vcs[static_cast<std::size_t>(ivc.out_vc)];
+      if (ovc.credits <= 0) {
+        ++stats_.sa_conflict_stalls;
+        continue;
+      }
+
+      // Grant: move the flit through the crossbar onto the link.
+      Flit flit = front.flit;
+      flit.vc = static_cast<std::int8_t>(ivc.out_vc);
+      ivc.fifo.pop_front();
+      --buffered_flits_;
+      --ovc.credits;
+      ++stats_.flits_forwarded;
+      if (out_dir == Direction::kLocal) ++stats_.flits_ejected;
+
+      transfers.push_back(LinkTransfer{id_, out_dir, flit});
+      credits.push_back(
+          CreditReturn{id_, static_cast<Direction>(in_pi), in_vc});
+
+      if (flit.is_tail) {
+        ovc.allocated = false;
+        ivc.active = false;
+        ivc.out_vc = -1;
+        --oport.active_inputs;
+      }
+      input_used[in_pi] = true;
+      oport.rr_candidate = (cand + 1) % candidates;
+      break;  // one flit per output port per cycle
+    }
+  }
+}
+
+void Router::run_inspectors(Packet& pkt, Cycle now) {
+  for (PacketInspector* inspector : inspectors_) {
+    inspector->inspect(pkt, id_, now);
+  }
+}
+
+void Router::tick_rc_va(Cycle now) {
+  if (buffered_flits_ == 0) return;
+  for (int pi = 0; pi < kNumPorts; ++pi) {
+    for (int vi = 0; vi < cfg_.vcs; ++vi) {
+      InputVc& ivc = in_[pi].vcs[static_cast<std::size_t>(vi)];
+      if (ivc.active || ivc.fifo.empty()) continue;
+      BufferedFlit& front = ivc.fifo.front();
+      if (!front.flit.is_head) continue;  // waiting for a stale tail: bug guard
+      // One cycle of buffer write before the head enters RC.
+      if (now < front.arrival + 1) continue;
+
+      Packet& pkt = *front.flit.pkt;
+      if (!front.inspected) {
+        // Fig. 2b: the Trojan taps the path between the input buffer and
+        // the routing-computation unit, so it sees the packet exactly once
+        // per router, before the route is computed.
+        run_inspectors(pkt, now);
+        front.inspected = true;
+        if (pkt.type == PacketType::kPowerRequest) {
+          ++stats_.power_requests_seen;
+        }
+      }
+
+      RouteQuery q;
+      q.here = coord_;
+      q.dst = geom_.coord_of(pkt.dst);
+      q.vc_class = vc_class_of(pkt.type);
+      for (int p = 0; p < kNumPorts; ++p) {
+        q.free_credits[p] =
+            free_credits_for_class(static_cast<Direction>(p), q.vc_class);
+      }
+
+      const Direction out_dir = routing_->select(q);
+      OutputPort& oport = out_[port_index(out_dir)];
+      assert(oport.connected && "routing selected a disconnected port");
+
+      // VC allocation: round-robin over the free VCs of the packet's class.
+      const int base = cfg_.class_base(q.vc_class);
+      const int span = cfg_.vcs_per_class();
+      int granted = -1;
+      for (int k = 0; k < span; ++k) {
+        const int v = base + (oport.rr_vc + k) % span;
+        if (!oport.vcs[static_cast<std::size_t>(v)].allocated) {
+          granted = v;
+          break;
+        }
+      }
+      if (granted < 0) {
+        ++stats_.va_stalls;
+        continue;
+      }
+      oport.vcs[static_cast<std::size_t>(granted)].allocated = true;
+      oport.rr_vc = (granted - base + 1) % span;
+      ++oport.active_inputs;
+      ivc.active = true;
+      ivc.out_port = out_dir;
+      ivc.out_vc = granted;
+      ivc.alloc_cycle = now;
+      ++stats_.packets_routed;
+    }
+  }
+}
+
+}  // namespace htpb::noc

@@ -1,0 +1,160 @@
+// Input-buffered virtual-channel wormhole router.
+//
+// Microarchitecture (Table I / Sec. III-D of the paper): 5 ports, 4 VCs per
+// input port with 5-flit FIFOs, credit-based flow control, a 2-cycle router
+// pipeline (buffer-write + route-compute/VC-allocate, then switch-allocate +
+// switch-traverse) and 1-cycle links. The PacketInspector chain runs between
+// the input buffer and route computation -- the attachment point of the
+// paper's hardware Trojan (Fig. 2b).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+#include "noc/config.hpp"
+#include "noc/direction.hpp"
+#include "noc/inspector.hpp"
+#include "noc/packet.hpp"
+#include "noc/routing.hpp"
+
+namespace htpb::noc {
+
+struct RouterStats {
+  std::uint64_t flits_forwarded = 0;
+  std::uint64_t packets_routed = 0;
+  std::uint64_t power_requests_seen = 0;
+  std::uint64_t flits_ejected = 0;
+  std::uint64_t sa_conflict_stalls = 0;
+  std::uint64_t va_stalls = 0;
+};
+
+/// A flit leaving a router this cycle, to be applied by the network after
+/// every router has ticked (two-phase update keeps evaluation
+/// order-independent and deterministic).
+struct LinkTransfer {
+  NodeId from_router = kInvalidNode;
+  Direction out_port = Direction::kLocal;
+  Flit flit;
+};
+
+/// Buffer slot freed in `router`'s input `in_port`/`vc`; the network
+/// forwards it upstream (neighbour router or local NI) as a credit.
+struct CreditReturn {
+  NodeId router = kInvalidNode;
+  Direction in_port = Direction::kLocal;
+  int vc = 0;
+};
+
+class Router {
+ public:
+  Router(NodeId id, const MeshGeometry& geom, const NocConfig& cfg,
+         const RoutingAlgorithm* routing);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] Coord coord() const noexcept { return coord_; }
+
+  /// Marks an output port as wired (edge routers leave mesh-boundary ports
+  /// disconnected). Local is always connected.
+  void set_port_connected(Direction p, bool connected);
+  [[nodiscard]] bool port_connected(Direction p) const noexcept {
+    return out_[port_index(p)].connected;
+  }
+
+  /// Accepts a flit into an input buffer; `arrival` is the cycle at which
+  /// the flit has been fully written (becomes visible to the pipeline).
+  void accept_flit(Direction in_port, const Flit& flit, Cycle arrival);
+
+  /// Pipeline stage 2: switch allocation + traversal. At most one flit per
+  /// output port and one per input port per cycle.
+  void tick_sa_st(Cycle now, std::vector<LinkTransfer>& transfers,
+                  std::vector<CreditReturn>& credits);
+
+  /// Pipeline stage 1 (for newly arrived heads): inspection, route
+  /// computation, VC allocation. Runs after SA within a tick so grants take
+  /// effect the following cycle.
+  void tick_rc_va(Cycle now);
+
+  /// Credit bookkeeping for the downstream buffer behind output port `p`.
+  void add_output_credit(Direction p, int vc) noexcept {
+    ++out_[port_index(p)].vcs[static_cast<std::size_t>(vc)].credits;
+  }
+  [[nodiscard]] int output_credits(Direction p, int vc) const noexcept {
+    return out_[port_index(p)].vcs[static_cast<std::size_t>(vc)].credits;
+  }
+  /// Sum of free credits over the VCs of a class (adaptive routing input).
+  [[nodiscard]] int free_credits_for_class(Direction p, int vc_class) const noexcept;
+
+  [[nodiscard]] int input_occupancy(Direction p, int vc) const noexcept {
+    return static_cast<int>(
+        in_[port_index(p)].vcs[static_cast<std::size_t>(vc)].fifo.size());
+  }
+  [[nodiscard]] std::uint64_t buffered_flits() const noexcept {
+    return buffered_flits_;
+  }
+
+  void add_inspector(PacketInspector* inspector) {
+    inspectors_.push_back(inspector);
+  }
+  void clear_inspectors() noexcept { inspectors_.clear(); }
+  [[nodiscard]] bool has_inspectors() const noexcept {
+    return !inspectors_.empty();
+  }
+
+  [[nodiscard]] const RouterStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = RouterStats{}; }
+
+ private:
+  struct BufferedFlit {
+    Flit flit;
+    Cycle arrival = 0;
+    bool inspected = false;
+  };
+
+  struct InputVc {
+    std::deque<BufferedFlit> fifo;
+    bool active = false;       // holds a routed packet
+    Direction out_port = Direction::kLocal;
+    int out_vc = -1;
+    Cycle alloc_cycle = 0;
+  };
+
+  struct InputPort {
+    std::vector<InputVc> vcs;
+  };
+
+  struct OutputVc {
+    int credits = 0;
+    bool allocated = false;
+  };
+
+  struct OutputPort {
+    std::vector<OutputVc> vcs;
+    bool connected = false;
+    int rr_candidate = 0;  // SA round-robin over (in_port, vc) pairs
+    int rr_vc = 0;         // VA round-robin over output VCs
+    int active_inputs = 0; // input VCs currently routed to this port
+  };
+
+  [[nodiscard]] InputVc& input_vc(Direction p, int vc) noexcept {
+    return in_[port_index(p)].vcs[static_cast<std::size_t>(vc)];
+  }
+
+  void run_inspectors(Packet& pkt, Cycle now);
+
+  NodeId id_;
+  MeshGeometry geom_;
+  Coord coord_;
+  NocConfig cfg_;
+  const RoutingAlgorithm* routing_;
+  std::array<InputPort, kNumPorts> in_;
+  std::array<OutputPort, kNumPorts> out_;
+  std::vector<PacketInspector*> inspectors_;
+  RouterStats stats_;
+  std::uint64_t buffered_flits_ = 0;
+};
+
+}  // namespace htpb::noc

@@ -1,0 +1,52 @@
+#include "noc/routing.hpp"
+
+#include <stdexcept>
+
+namespace htpb::noc {
+
+Direction XyRouting::select(const RouteQuery& q) const {
+  if (q.dst.x > q.here.x) return Direction::kEast;
+  if (q.dst.x < q.here.x) return Direction::kWest;
+  if (q.dst.y > q.here.y) return Direction::kSouth;
+  if (q.dst.y < q.here.y) return Direction::kNorth;
+  return Direction::kLocal;
+}
+
+Direction WestFirstAdaptiveRouting::select(const RouteQuery& q) const {
+  const int dx = q.dst.x - q.here.x;
+  const int dy = q.dst.y - q.here.y;
+  if (dx == 0 && dy == 0) return Direction::kLocal;
+  // West-first: any westward component must be consumed first and is
+  // non-adaptive (the turn model forbids turning into west).
+  if (dx < 0) return Direction::kWest;
+  if (dx == 0) return dy > 0 ? Direction::kSouth : Direction::kNorth;
+  if (dy == 0) return Direction::kEast;
+  // Both east and one of north/south are productive: adapt on credits.
+  const Direction vertical = dy > 0 ? Direction::kSouth : Direction::kNorth;
+  const int credits_east = q.free_credits[port_index(Direction::kEast)];
+  const int credits_vert = q.free_credits[port_index(vertical)];
+  return credits_east >= credits_vert ? Direction::kEast : vertical;
+}
+
+std::unique_ptr<RoutingAlgorithm> make_routing(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kXY:
+      return std::make_unique<XyRouting>();
+    case RoutingKind::kWestFirstAdaptive:
+      return std::make_unique<WestFirstAdaptiveRouting>();
+  }
+  throw std::invalid_argument("make_routing: unknown RoutingKind");
+}
+
+bool xy_route_passes_through(Coord src, Coord dst, Coord via) {
+  // XY: move along x at y == src.y, then along y at x == dst.x.
+  const int xlo = src.x < dst.x ? src.x : dst.x;
+  const int xhi = src.x < dst.x ? dst.x : src.x;
+  if (via.y == src.y && via.x >= xlo && via.x <= xhi) return true;
+  const int ylo = src.y < dst.y ? src.y : dst.y;
+  const int yhi = src.y < dst.y ? dst.y : src.y;
+  if (via.x == dst.x && via.y >= ylo && via.y <= yhi) return true;
+  return false;
+}
+
+}  // namespace htpb::noc

@@ -1,0 +1,57 @@
+// Routing algorithms. The router asks the algorithm for an output port for
+// each head flit; adaptive algorithms also see downstream credit
+// availability per candidate port.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "common/geometry.hpp"
+#include "noc/config.hpp"
+#include "noc/direction.hpp"
+
+namespace htpb::noc {
+
+struct RouteQuery {
+  Coord here;
+  Coord dst;
+  /// Free downstream credits per output port for the packet's VC class
+  /// (sum over the class's VCs); used by adaptive algorithms only.
+  std::array<int, kNumPorts> free_credits{};
+  int vc_class = 0;
+};
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+  /// Returns the output port; kLocal when here == dst.
+  [[nodiscard]] virtual Direction select(const RouteQuery& q) const = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// Deterministic XY dimension-order routing: exhaust X first, then Y.
+class XyRouting final : public RoutingAlgorithm {
+ public:
+  [[nodiscard]] Direction select(const RouteQuery& q) const override;
+  [[nodiscard]] const char* name() const noexcept override { return "XY"; }
+};
+
+/// West-first minimal adaptive routing (turn model): if the destination is
+/// to the west, the packet must go fully west first (deterministic); all
+/// other quadrants may adapt between the productive ports, picking the one
+/// with more free credits (ties broken toward X to mimic XY).
+class WestFirstAdaptiveRouting final : public RoutingAlgorithm {
+ public:
+  [[nodiscard]] Direction select(const RouteQuery& q) const override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "WestFirstAdaptive";
+  }
+};
+
+[[nodiscard]] std::unique_ptr<RoutingAlgorithm> make_routing(RoutingKind kind);
+
+/// True iff the XY route from src to dst passes through `via` (inclusive
+/// of endpoints). Used by the analytic infection-rate estimator.
+[[nodiscard]] bool xy_route_passes_through(Coord src, Coord dst, Coord via);
+
+}  // namespace htpb::noc

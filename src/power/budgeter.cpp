@@ -1,0 +1,209 @@
+#include "power/budgeter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace htpb::power {
+
+namespace {
+
+/// Gives everyone min(floor, request) first and returns the remaining
+/// budget; grants is sized and zeroed. Shared preamble of all policies.
+std::uint64_t apply_floor(std::span<const BudgetRequest> requests,
+                          std::uint64_t budget_mw, std::uint32_t floor_mw,
+                          std::vector<BudgetGrant>& grants) {
+  grants.resize(requests.size());
+  std::uint64_t used = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    grants[i].node = requests[i].node;
+    const std::uint32_t base = std::min(floor_mw, requests[i].request_mw);
+    grants[i].grant_mw = base;
+    used += base;
+  }
+  if (used > budget_mw) {
+    // Budget cannot even cover the floors: scale floors down evenly.
+    const double scale = static_cast<double>(budget_mw) / static_cast<double>(used);
+    std::uint64_t total = 0;
+    for (auto& g : grants) {
+      g.grant_mw = static_cast<std::uint32_t>(g.grant_mw * scale);
+      total += g.grant_mw;
+    }
+    return budget_mw - total;
+  }
+  return budget_mw - used;
+}
+
+[[nodiscard]] std::uint32_t headroom(const BudgetRequest& req,
+                                     const BudgetGrant& grant) noexcept {
+  return req.request_mw > grant.grant_mw ? req.request_mw - grant.grant_mw : 0;
+}
+
+}  // namespace
+
+std::vector<BudgetGrant> UniformBudgeter::allocate(
+    std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
+    std::uint32_t floor_mw) const {
+  std::vector<BudgetGrant> grants;
+  std::uint64_t remaining = apply_floor(requests, budget_mw, floor_mw, grants);
+  // Repeated equal division among still-unsatisfied cores; a few rounds
+  // converge because each round either exhausts the budget or satisfies
+  // at least one core.
+  while (remaining > 0) {
+    std::size_t unsatisfied = 0;
+    for (std::size_t i = 0; i < grants.size(); ++i) {
+      if (headroom(requests[i], grants[i]) > 0) ++unsatisfied;
+    }
+    if (unsatisfied == 0) break;
+    const std::uint64_t share = remaining / unsatisfied;
+    if (share == 0) break;
+    std::uint64_t given = 0;
+    for (std::size_t i = 0; i < grants.size(); ++i) {
+      const std::uint32_t room = headroom(requests[i], grants[i]);
+      if (room == 0) continue;
+      const auto add = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(share, room));
+      grants[i].grant_mw += add;
+      given += add;
+    }
+    if (given == 0) break;
+    remaining -= given;
+  }
+  return grants;
+}
+
+std::vector<BudgetGrant> GreedyBudgeter::allocate(
+    std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
+    std::uint32_t floor_mw) const {
+  std::vector<BudgetGrant> grants;
+  std::uint64_t remaining = apply_floor(requests, budget_mw, floor_mw, grants);
+  std::vector<std::size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return requests[a].request_mw < requests[b].request_mw;
+  });
+  for (const std::size_t i : order) {
+    const std::uint32_t room = headroom(requests[i], grants[i]);
+    const auto add = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(room, remaining));
+    grants[i].grant_mw += add;
+    remaining -= add;
+    if (remaining == 0) break;
+  }
+  return grants;
+}
+
+std::vector<BudgetGrant> ProportionalBudgeter::allocate(
+    std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
+    std::uint32_t floor_mw) const {
+  std::vector<BudgetGrant> grants;
+  const std::uint64_t remaining =
+      apply_floor(requests, budget_mw, floor_mw, grants);
+  std::uint64_t total_headroom = 0;
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    total_headroom += headroom(requests[i], grants[i]);
+  }
+  if (total_headroom == 0 || remaining == 0) return grants;
+  const double scale = std::min(
+      1.0, static_cast<double>(remaining) / static_cast<double>(total_headroom));
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    const std::uint32_t room = headroom(requests[i], grants[i]);
+    grants[i].grant_mw += static_cast<std::uint32_t>(room * scale);
+  }
+  return grants;
+}
+
+std::vector<BudgetGrant> DpBudgeter::allocate(
+    std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
+    std::uint32_t floor_mw) const {
+  std::vector<BudgetGrant> grants;
+  std::uint64_t remaining = apply_floor(requests, budget_mw, floor_mw, grants);
+  if (requests.empty() || remaining == 0) return grants;
+
+  // Utility u_i(g) = sqrt(g / request): concave, so repeatedly granting the
+  // quantum with the best marginal utility is an optimal solution of the
+  // discretized problem (equivalent to the DP of [9] but O(B log n)).
+  const auto marginal = [&](std::size_t i) {
+    const double req = std::max<std::uint32_t>(requests[i].request_mw, 1);
+    const double g = grants[i].grant_mw;
+    const double next = std::min<double>(g + quantum_mw_, requests[i].request_mw);
+    return (std::sqrt(next / req) - std::sqrt(g / req));
+  };
+
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry> heap;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (headroom(requests[i], grants[i]) > 0) heap.emplace(marginal(i), i);
+  }
+  while (remaining >= 1 && !heap.empty()) {
+    const auto [gain, i] = heap.top();
+    heap.pop();
+    const std::uint32_t room = headroom(requests[i], grants[i]);
+    if (room == 0) continue;
+    const auto add = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        std::min<std::uint64_t>(quantum_mw_, room), remaining));
+    grants[i].grant_mw += add;
+    remaining -= add;
+    if (headroom(requests[i], grants[i]) > 0) heap.emplace(marginal(i), i);
+  }
+  return grants;
+}
+
+std::vector<BudgetGrant> MarketBudgeter::allocate(
+    std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
+    std::uint32_t floor_mw) const {
+  std::vector<BudgetGrant> grants;
+  std::uint64_t remaining = apply_floor(requests, budget_mw, floor_mw, grants);
+  if (requests.empty() || remaining == 0) return grants;
+
+  // Equal endowment of the remaining pool; cores that need less sell their
+  // surplus back, and the pool is re-auctioned proportionally to unmet
+  // demand until it is exhausted (or everyone is satisfied).
+  const std::uint64_t endowment = remaining / requests.size();
+  std::uint64_t pool = remaining % requests.size();
+  std::uint64_t unmet_total = 0;
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    const std::uint32_t room = headroom(requests[i], grants[i]);
+    const auto take = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(endowment, room));
+    grants[i].grant_mw += take;
+    pool += endowment - take;
+    unmet_total += headroom(requests[i], grants[i]);
+  }
+  if (unmet_total == 0 || pool == 0) return grants;
+  const double scale = std::min(
+      1.0, static_cast<double>(pool) / static_cast<double>(unmet_total));
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    const std::uint32_t room = headroom(requests[i], grants[i]);
+    grants[i].grant_mw += static_cast<std::uint32_t>(room * scale);
+  }
+  return grants;
+}
+
+std::unique_ptr<Budgeter> make_budgeter(BudgeterKind kind) {
+  switch (kind) {
+    case BudgeterKind::kUniform: return std::make_unique<UniformBudgeter>();
+    case BudgeterKind::kGreedy: return std::make_unique<GreedyBudgeter>();
+    case BudgeterKind::kProportional:
+      return std::make_unique<ProportionalBudgeter>();
+    case BudgeterKind::kDynamicProgramming:
+      return std::make_unique<DpBudgeter>();
+    case BudgeterKind::kMarket: return std::make_unique<MarketBudgeter>();
+  }
+  throw std::invalid_argument("make_budgeter: unknown kind");
+}
+
+const char* to_string(BudgeterKind kind) noexcept {
+  switch (kind) {
+    case BudgeterKind::kUniform: return "uniform";
+    case BudgeterKind::kGreedy: return "greedy";
+    case BudgeterKind::kProportional: return "proportional";
+    case BudgeterKind::kDynamicProgramming: return "dp";
+    case BudgeterKind::kMarket: return "market";
+  }
+  return "?";
+}
+
+}  // namespace htpb::power

@@ -1,0 +1,122 @@
+// Power-budgeting algorithms run by the global manager.
+//
+// The paper stresses the attack works "irrespective of the power budgeting
+// algorithms [8], [9]" the manager runs. We therefore implement five
+// allocators spanning the design space the paper cites: uniform, greedy
+// heuristic [8], proportional sharing, dynamic programming [9] and
+// market-based redistribution [6]. All of them decide purely from the
+// requested values -- which is exactly the vulnerability the Trojan
+// exploits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace htpb::power {
+
+struct BudgetRequest {
+  NodeId node = kInvalidNode;
+  AppId app = kInvalidApp;
+  /// Requested power in milliwatts (the POWER_REQ payload as received --
+  /// possibly tampered).
+  std::uint32_t request_mw = 0;
+};
+
+struct BudgetGrant {
+  NodeId node = kInvalidNode;
+  std::uint32_t grant_mw = 0;
+};
+
+enum class BudgeterKind {
+  kUniform,
+  kGreedy,
+  kProportional,
+  kDynamicProgramming,
+  kMarket,
+};
+
+class Budgeter {
+ public:
+  virtual ~Budgeter() = default;
+
+  /// Splits `budget_mw` among the requests. Implementations guarantee:
+  ///  - sum(grants) <= budget_mw,
+  ///  - grant_i <= request_i (a core never receives more than it asked),
+  ///  - every requester receives at least min(floor_mw, request_i), where
+  ///    floor_mw is the chip's per-core minimum operating power, provided
+  ///    the budget suffices for all floors.
+  [[nodiscard]] virtual std::vector<BudgetGrant> allocate(
+      std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
+      std::uint32_t floor_mw) const = 0;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// Equal shares, capped at the request; leftovers redistributed.
+class UniformBudgeter final : public Budgeter {
+ public:
+  [[nodiscard]] std::vector<BudgetGrant> allocate(
+      std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
+      std::uint32_t floor_mw) const override;
+  [[nodiscard]] const char* name() const noexcept override { return "uniform"; }
+};
+
+/// Greedy heuristic in the spirit of SmartCap [8]: satisfy the smallest
+/// outstanding demands first (maximizes the number of fully satisfied
+/// cores under a cap).
+class GreedyBudgeter final : public Budgeter {
+ public:
+  [[nodiscard]] std::vector<BudgetGrant> allocate(
+      std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
+      std::uint32_t floor_mw) const override;
+  [[nodiscard]] const char* name() const noexcept override { return "greedy"; }
+};
+
+/// Grants proportional to the requested amount above the floor.
+class ProportionalBudgeter final : public Budgeter {
+ public:
+  [[nodiscard]] std::vector<BudgetGrant> allocate(
+      std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
+      std::uint32_t floor_mw) const override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "proportional";
+  }
+};
+
+/// Fine-grained DP allocation [9]: discretizes the budget and maximizes a
+/// concave utility sum(sqrt(grant_i / request_i)) so extra power has
+/// diminishing returns, via incremental (greedy-on-concave == optimal)
+/// marginal allocation.
+class DpBudgeter final : public Budgeter {
+ public:
+  explicit DpBudgeter(std::uint32_t quantum_mw = 50)
+      : quantum_mw_(quantum_mw) {}
+  [[nodiscard]] std::vector<BudgetGrant> allocate(
+      std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
+      std::uint32_t floor_mw) const override;
+  [[nodiscard]] const char* name() const noexcept override { return "dp"; }
+
+ private:
+  std::uint32_t quantum_mw_;
+};
+
+/// Market/elasticity style [6]: everyone starts from an equal endowment;
+/// cores demanding less than their endowment sell the surplus, which is
+/// redistributed proportionally to unmet demand.
+class MarketBudgeter final : public Budgeter {
+ public:
+  [[nodiscard]] std::vector<BudgetGrant> allocate(
+      std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
+      std::uint32_t floor_mw) const override;
+  [[nodiscard]] const char* name() const noexcept override { return "market"; }
+};
+
+[[nodiscard]] std::unique_ptr<Budgeter> make_budgeter(BudgeterKind kind);
+[[nodiscard]] const char* to_string(BudgeterKind kind) noexcept;
+
+}  // namespace htpb::power

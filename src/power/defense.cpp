@@ -1,0 +1,71 @@
+#include "power/defense.hpp"
+
+#include <algorithm>
+
+namespace htpb::power {
+
+DetectorReport RequestAnomalyDetector::observe_epoch(
+    std::span<const BudgetRequest> requests) {
+  DetectorReport newly;
+  for (const BudgetRequest& req : requests) {
+    PerCore& pc = state_[req.node];
+    ++cumulative_.observations;
+    ++newly.observations;
+    const double value = static_cast<double>(req.request_mw);
+    if (pc.epochs_seen >= cfg_.warmup_epochs && pc.history > 0.0) {
+      const bool low = value < cfg_.low_ratio * pc.history;
+      const bool high = value > cfg_.high_ratio * pc.history;
+      pc.low_streak = low ? pc.low_streak + 1 : 0;
+      pc.high_streak = high ? pc.high_streak + 1 : 0;
+      if (pc.low_streak >= cfg_.confirm_epochs && !pc.reported_low) {
+        pc.reported_low = true;
+        newly.flagged_low.push_back(req.node);
+        cumulative_.flagged_low.push_back(req.node);
+      }
+      if (pc.high_streak >= cfg_.confirm_epochs && !pc.reported_high) {
+        pc.reported_high = true;
+        newly.flagged_high.push_back(req.node);
+        cumulative_.flagged_high.push_back(req.node);
+      }
+      // Anomalous samples do not poison the trusted history.
+      if (!low && !high) {
+        pc.history =
+            (1.0 - cfg_.history_alpha) * pc.history + cfg_.history_alpha * value;
+      }
+    } else {
+      pc.history = pc.history == 0.0
+                       ? value
+                       : (1.0 - cfg_.history_alpha) * pc.history +
+                             cfg_.history_alpha * value;
+    }
+    ++pc.epochs_seen;
+  }
+  return newly;
+}
+
+std::vector<BudgetGrant> GuardedBudgeter::allocate(
+    std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
+    std::uint32_t floor_mw) const {
+  std::vector<BudgetRequest> clamped(requests.begin(), requests.end());
+  for (BudgetRequest& req : clamped) {
+    double& hist = history_[req.node];
+    int& seen = epochs_[req.node];
+    const double value = static_cast<double>(req.request_mw);
+    if (seen >= cfg_.warmup_epochs && hist > 0.0) {
+      const double lo = cfg_.low_ratio * hist;
+      const double hi = cfg_.high_ratio * hist;
+      const double used = std::clamp(value, lo, hi);
+      req.request_mw = static_cast<std::uint32_t>(used);
+      // Track the clamped (trusted) value, not the raw one.
+      hist = (1.0 - cfg_.history_alpha) * hist + cfg_.history_alpha * used;
+    } else {
+      hist = hist == 0.0 ? value
+                         : (1.0 - cfg_.history_alpha) * hist +
+                               cfg_.history_alpha * value;
+    }
+    ++seen;
+  }
+  return inner_->allocate(clamped, budget_mw, floor_mw);
+}
+
+}  // namespace htpb::power

@@ -1,0 +1,112 @@
+// Defender-side counterparts to the attack -- the "more research on
+// detection and protection" the paper's conclusion calls for.
+//
+// Two mechanisms, both deployable at the global manager (the one place
+// the false data converges):
+//
+//  1. RequestAnomalyDetector -- per-core exponentially weighted history of
+//     request values. A request that collapses far below its own history
+//     (victim attenuation) or explodes far above it (accomplice boost) is
+//     flagged. The Trojan cannot evade this without reducing its
+//     modification factor, which proportionally weakens the attack.
+//
+//  2. GuardedBudgeter -- a mitigation wrapper around any Budgeter: each
+//     core's effective request is clamped into a trust band around its
+//     history before allocation, so even unflagged tampering moves the
+//     allocation by at most the band width per epoch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "power/budgeter.hpp"
+
+namespace htpb::power {
+
+struct DetectorConfig {
+  /// Smoothing of the per-core request history.
+  double history_alpha = 0.25;
+  /// Flag when request < low_ratio * history (victim attenuation).
+  double low_ratio = 0.45;
+  /// Flag when request > high_ratio * history (accomplice boost).
+  double high_ratio = 2.2;
+  /// Epochs of history required before flagging (cold-start guard).
+  int warmup_epochs = 2;
+  /// Consecutive anomalous epochs before a core is reported.
+  int confirm_epochs = 2;
+};
+
+struct DetectorReport {
+  std::vector<NodeId> flagged_low;   ///< suspected starved victims
+  std::vector<NodeId> flagged_high;  ///< suspected boosted accomplices
+  std::uint64_t observations = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return !flagged_low.empty() || !flagged_high.empty();
+  }
+};
+
+class RequestAnomalyDetector {
+ public:
+  explicit RequestAnomalyDetector(DetectorConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Feeds one epoch of requests (as received by the manager); returns
+  /// the cores newly confirmed anomalous this epoch.
+  DetectorReport observe_epoch(std::span<const BudgetRequest> requests);
+
+  /// All cores confirmed anomalous so far.
+  [[nodiscard]] const DetectorReport& cumulative() const noexcept {
+    return cumulative_;
+  }
+  [[nodiscard]] double history_of(NodeId node) const {
+    const auto it = state_.find(node);
+    return it == state_.end() ? 0.0 : it->second.history;
+  }
+
+ private:
+  struct PerCore {
+    double history = 0.0;
+    int epochs_seen = 0;
+    int low_streak = 0;
+    int high_streak = 0;
+    bool reported_low = false;
+    bool reported_high = false;
+  };
+
+  DetectorConfig cfg_;
+  std::unordered_map<NodeId, PerCore> state_;
+  DetectorReport cumulative_;
+};
+
+/// Mitigation: clamp every request into [low_ratio, high_ratio] x its own
+/// history before handing it to the wrapped policy. Tampered values still
+/// shift the allocation, but only by the band width -- the attack's
+/// leverage collapses from ~10x to the band ratio.
+class GuardedBudgeter final : public Budgeter {
+ public:
+  GuardedBudgeter(std::unique_ptr<Budgeter> inner,
+                  DetectorConfig cfg = {})
+      : inner_(std::move(inner)), cfg_(cfg) {}
+
+  [[nodiscard]] std::vector<BudgetGrant> allocate(
+      std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
+      std::uint32_t floor_mw) const override;
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "guarded";
+  }
+
+ private:
+  std::unique_ptr<Budgeter> inner_;
+  DetectorConfig cfg_;
+  // Allocation history evolves across calls; allocate() is logically const
+  // for the Budgeter interface but the guard's memory must persist.
+  mutable std::unordered_map<NodeId, double> history_;
+  mutable std::unordered_map<NodeId, int> epochs_;
+};
+
+}  // namespace htpb::power

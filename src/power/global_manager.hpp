@@ -1,0 +1,131 @@
+// The global manager: the designated core that solicits power requests,
+// runs the budgeting algorithm over whatever request values arrive (it has
+// no way of knowing they were tampered with in flight -- the paper's core
+// vulnerability), and replies with POWER_GRANT packets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/network.hpp"
+#include "power/budgeter.hpp"
+#include "power/defense.hpp"
+
+namespace htpb::power {
+
+/// Per-epoch accounting kept by the manager (also the measurement point
+/// for the paper's infection rate).
+struct EpochRecord {
+  Cycle epoch_start = 0;
+  std::uint64_t requests_received = 0;
+  std::uint64_t tampered_received = 0;
+  /// Requests from victim (non-attacker) applications -- the population
+  /// over which the paper's infection rate is defined. Boosted attacker
+  /// requests are modifications the attacker *wants*, not infections.
+  std::uint64_t victim_requests = 0;
+  std::uint64_t budget_mw = 0;
+  std::uint64_t granted_mw = 0;
+
+  [[nodiscard]] double infection_rate() const noexcept {
+    return victim_requests == 0
+               ? 0.0
+               : static_cast<double>(tampered_received) /
+                     static_cast<double>(victim_requests);
+  }
+};
+
+class GlobalManager {
+ public:
+  GlobalManager(NodeId node, noc::MeshNetwork* net,
+                std::unique_ptr<Budgeter> budgeter, std::uint64_t budget_mw,
+                std::uint32_t floor_mw)
+      : node_(node), net_(net), budgeter_(std::move(budgeter)),
+        budget_mw_(budget_mw), floor_mw_(floor_mw) {}
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] std::uint64_t budget_mw() const noexcept { return budget_mw_; }
+  void set_budget_mw(std::uint64_t b) noexcept { budget_mw_ = b; }
+
+  /// Opens a new collection window.
+  void begin_epoch(Cycle now) {
+    pending_.clear();
+    current_ = EpochRecord{};
+    current_.epoch_start = now;
+    current_.budget_mw = budget_mw_;
+    collecting_ = true;
+  }
+
+  /// Measurement-only hook: tells the epoch accounting which applications
+  /// are the attacker's (a real manager cannot know this -- that is the
+  /// point of the attack; the flag only feeds the infection metric).
+  void set_attacker_lookup(std::function<bool(AppId)> is_attacker) {
+    is_attacker_ = std::move(is_attacker);
+  }
+
+  /// Handles an arriving POWER_REQ packet. Requests arriving outside the
+  /// collection window are dropped (stragglers from the previous epoch).
+  void on_power_request(const noc::Packet& pkt) {
+    if (!collecting_ || pkt.type != noc::PacketType::kPowerRequest) return;
+    pending_.push_back(BudgetRequest{pkt.src, pkt.src_app, pkt.payload});
+    ++current_.requests_received;
+    const bool attacker = is_attacker_ && is_attacker_(pkt.src_app);
+    if (!attacker) ++current_.victim_requests;
+    if (pkt.tampered) ++current_.tampered_received;
+  }
+
+  /// Optional intrusion detector fed with every epoch's raw requests
+  /// before allocation (see power/defense.hpp). Not owned.
+  void attach_detector(RequestAnomalyDetector* detector) noexcept {
+    detector_ = detector;
+  }
+
+  /// Closes the window, runs the allocator and sends one POWER_GRANT per
+  /// requester. Returns the closed epoch's record.
+  EpochRecord allocate_and_reply() {
+    collecting_ = false;
+    if (detector_ != nullptr) detector_->observe_epoch(pending_);
+    const auto grants = budgeter_->allocate(pending_, budget_mw_, floor_mw_);
+    for (const BudgetGrant& g : grants) {
+      current_.granted_mw += g.grant_mw;
+      auto pkt = net_->make_packet(node_, g.node,
+                                   noc::PacketType::kPowerGrant, g.grant_mw);
+      net_->send(std::move(pkt));
+    }
+    history_.push_back(current_);
+    return current_;
+  }
+
+  [[nodiscard]] const std::vector<EpochRecord>& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] const Budgeter& budgeter() const noexcept { return *budgeter_; }
+
+  /// Mean infection rate over the recorded epochs, skipping `warmup`.
+  [[nodiscard]] double mean_infection_rate(std::size_t warmup = 0) const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = warmup; i < history_.size(); ++i) {
+      sum += history_[i].infection_rate();
+      ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+
+ private:
+  NodeId node_;
+  noc::MeshNetwork* net_;
+  std::unique_ptr<Budgeter> budgeter_;
+  std::uint64_t budget_mw_;
+  std::uint32_t floor_mw_;
+  std::function<bool(AppId)> is_attacker_;
+  RequestAnomalyDetector* detector_ = nullptr;
+  bool collecting_ = false;
+  std::vector<BudgetRequest> pending_;
+  EpochRecord current_;
+  std::vector<EpochRecord> history_;
+};
+
+}  // namespace htpb::power

@@ -1,0 +1,19 @@
+#include "sim/engine.hpp"
+
+namespace htpb::sim {
+
+void Engine::step_one_cycle() {
+  events_.run_all_at(now_);
+  for (Tickable* t : tickables_) t->tick(now_);
+  ++now_;
+}
+
+void Engine::run_cycles(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step_one_cycle();
+}
+
+void Engine::run_until(Cycle when) {
+  while (now_ <= when) step_one_cycle();
+}
+
+}  // namespace htpb::sim

@@ -1,0 +1,58 @@
+// Hybrid simulation engine: clocked components (routers, cores) register
+// as Tickables and are ticked every cycle; sparse future work (memory
+// latencies, epoch timers) goes through the event queue.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace htpb::sim {
+
+/// A component evaluated once per simulated cycle, in registration order.
+/// Registration order is part of the deterministic contract: the mesh
+/// registers routers in node-id order, then network interfaces, then cores.
+class Tickable {
+ public:
+  virtual ~Tickable() = default;
+  virtual void tick(Cycle now) = 0;
+};
+
+class Engine {
+ public:
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+  /// Registers a clocked component. Not owned; caller keeps it alive for
+  /// the engine's lifetime.
+  void add_tickable(Tickable* t) { tickables_.push_back(t); }
+
+  /// Schedules `fn` to run `delay` cycles from now (0 = end of this cycle).
+  void schedule_in(Cycle delay, EventFn fn) {
+    events_.schedule(now_ + delay, std::move(fn));
+  }
+
+  void schedule_at(Cycle when, EventFn fn) {
+    events_.schedule(when < now_ ? now_ : when, std::move(fn));
+  }
+
+  /// Advances the simulation by `cycles` cycles. Each cycle: run all events
+  /// due at the current time, then tick every registered component.
+  void run_cycles(Cycle cycles);
+
+  /// Advances until `when` (inclusive of events at `when`).
+  void run_until(Cycle when);
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return events_.size();
+  }
+
+ private:
+  void step_one_cycle();
+
+  Cycle now_ = 0;
+  EventQueue events_;
+  std::vector<Tickable*> tickables_;
+};
+
+}  // namespace htpb::sim

@@ -1,0 +1,33 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace htpb::sim {
+
+void EventQueue::schedule(Cycle when, EventFn fn) {
+  heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::run_next() {
+  // priority_queue::top() is const; move the callable out via const_cast,
+  // which is safe because we pop immediately and never reuse the slot.
+  EventFn fn = std::move(const_cast<Event&>(heap_.top()).fn);
+  heap_.pop();
+  fn();
+}
+
+std::size_t EventQueue::run_all_at(Cycle t) {
+  std::size_t n = 0;
+  while (!heap_.empty() && heap_.top().when <= t) {
+    run_next();
+    ++n;
+  }
+  return n;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace htpb::sim

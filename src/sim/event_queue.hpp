@@ -1,0 +1,51 @@
+// Deterministic discrete-event queue: events at equal timestamps fire in
+// insertion (FIFO) order so simulations are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace htpb::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  void schedule(Cycle when, EventFn fn);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] Cycle next_time() const noexcept {
+    return heap_.empty() ? kCycleMax : heap_.top().when;
+  }
+
+  /// Pops and runs the earliest event. Precondition: !empty().
+  void run_next();
+
+  /// Runs all events with timestamp == t. Returns number executed.
+  std::size_t run_all_at(Cycle t);
+
+  void clear();
+
+ private:
+  struct Event {
+    Cycle when;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace htpb::sim

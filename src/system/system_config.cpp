@@ -1,0 +1,21 @@
+#include "system/system_config.hpp"
+
+#include <stdexcept>
+
+namespace htpb::system {
+
+SystemConfig SystemConfig::with_size(int nodes) {
+  SystemConfig cfg;
+  switch (nodes) {
+    case 64: cfg.width = 8; cfg.height = 8; break;
+    case 128: cfg.width = 16; cfg.height = 8; break;
+    case 256: cfg.width = 16; cfg.height = 16; break;
+    case 512: cfg.width = 32; cfg.height = 16; break;
+    default:
+      throw std::invalid_argument(
+          "SystemConfig::with_size: supported sizes are 64/128/256/512");
+  }
+  return cfg;
+}
+
+}  // namespace htpb::system

@@ -1,0 +1,71 @@
+// Whole-chip configuration -- the programmatic form of the paper's
+// Table I, plus the budgeting-epoch parameters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "cpu/frequency.hpp"
+#include "mem/l1_cache.hpp"
+#include "mem/l2_bank.hpp"
+#include "noc/config.hpp"
+#include "power/budgeter.hpp"
+#include "power/defense.hpp"
+#include "power/power_model.hpp"
+
+namespace htpb::system {
+
+enum class GmPlacement {
+  kCenter,  ///< Paper default for Figs. 4-6.
+  kCorner,  ///< The "global manager in one corner" arm of Fig. 3.
+};
+
+struct SystemConfig {
+  int width = 16;
+  int height = 16;
+
+  noc::NocConfig noc;
+  mem::L1Config l1;
+  mem::L2Config l2;
+  cpu::FrequencyTable freqs;
+  power::CorePowerModel power_model;
+
+  power::BudgeterKind budgeter = power::BudgeterKind::kProportional;
+  /// Wraps the budgeter in the request-clamping mitigation
+  /// (power::GuardedBudgeter) -- the defense evaluated in
+  /// bench_defense_evaluation.
+  bool guard_requests = false;
+  power::DetectorConfig guard_config;
+  /// Chip power budget as a fraction of the all-cores-at-max demand.
+  /// Below 1.0 creates the contention that power budgeting exists to
+  /// arbitrate (and that the Trojan exploits).
+  double budget_fraction = 0.50;
+
+  /// Budgeting epoch length and the manager's collection window.
+  Cycle epoch_cycles = 2000;
+  /// 0 = auto: scaled with mesh diameter at build time.
+  Cycle collect_window = 0;
+
+  GmPlacement gm_placement = GmPlacement::kCenter;
+  /// Overrides gm_placement when set.
+  std::optional<NodeId> gm_node;
+
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] int node_count() const noexcept { return width * height; }
+
+  [[nodiscard]] Cycle resolved_collect_window() const noexcept {
+    if (collect_window != 0) return collect_window;
+    const auto diameter = static_cast<Cycle>(width + height);
+    return 4 * diameter * static_cast<Cycle>(noc.router_latency +
+                                             noc.link_latency) +
+           200;
+  }
+
+  /// Convenience presets for the paper's system-size sweep (64..512).
+  [[nodiscard]] static SystemConfig with_size(int nodes);
+};
+
+}  // namespace htpb::system

@@ -1,0 +1,28 @@
+// One NoC node: router + NI (owned by the network), an L2 slice (every
+// node), and -- on nodes that run a thread -- a core with its private L1.
+#pragma once
+
+#include <memory>
+
+#include "common/types.hpp"
+#include "cpu/core_model.hpp"
+#include "mem/l1_cache.hpp"
+#include "mem/l2_bank.hpp"
+#include "noc/packet.hpp"
+
+namespace htpb::system {
+
+struct Tile {
+  NodeId node = kInvalidNode;
+  std::unique_ptr<cpu::CoreModel> core;  // null on idle nodes
+  std::unique_ptr<mem::L1Cache> l1;      // null on idle nodes
+  std::unique_ptr<mem::L2Bank> l2;       // every node hosts an L2 slice
+
+  // Epoch-boundary snapshots for the adaptive miss-rate estimate.
+  double last_instructions = 0.0;
+  std::uint64_t last_misses = 0;
+
+  [[nodiscard]] bool has_core() const noexcept { return core != nullptr; }
+};
+
+}  // namespace htpb::system

@@ -1,0 +1,114 @@
+#include "common/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace htpb {
+namespace {
+
+TEST(Geometry, ManhattanDistanceBasics) {
+  EXPECT_EQ(manhattan_distance(Coord{0, 0}, Coord{0, 0}), 0);
+  EXPECT_EQ(manhattan_distance(Coord{1, 2}, Coord{4, 6}), 7);
+  EXPECT_EQ(manhattan_distance(Coord{4, 6}, Coord{1, 2}), 7);
+  EXPECT_EQ(manhattan_distance(Coord{-3, 0}, Coord{3, 0}), 6);
+}
+
+TEST(Geometry, ManhattanDistanceRealPoints) {
+  EXPECT_DOUBLE_EQ(manhattan_distance(PointF{0.5, 0.5}, Coord{2, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(manhattan_distance(PointF{1.0, 1.0}, PointF{1.0, 1.0}), 0.0);
+}
+
+TEST(MeshGeometry, RowMajorMapping) {
+  const MeshGeometry geom(8, 4);
+  EXPECT_EQ(geom.node_count(), 32);
+  EXPECT_EQ(geom.coord_of(0), (Coord{0, 0}));
+  EXPECT_EQ(geom.coord_of(7), (Coord{7, 0}));
+  EXPECT_EQ(geom.coord_of(8), (Coord{0, 1}));
+  EXPECT_EQ(geom.id_of(Coord{7, 3}), 31U);
+  for (NodeId id = 0; id < 32; ++id) {
+    EXPECT_EQ(geom.id_of(geom.coord_of(id)), id);
+  }
+}
+
+TEST(MeshGeometry, Contains) {
+  const MeshGeometry geom(4, 4);
+  EXPECT_TRUE(geom.contains(Coord{0, 0}));
+  EXPECT_TRUE(geom.contains(Coord{3, 3}));
+  EXPECT_FALSE(geom.contains(Coord{4, 0}));
+  EXPECT_FALSE(geom.contains(Coord{0, -1}));
+  EXPECT_TRUE(geom.contains(NodeId{15}));
+  EXPECT_FALSE(geom.contains(NodeId{16}));
+}
+
+TEST(MeshGeometry, RejectsBadDimensions) {
+  EXPECT_THROW(MeshGeometry(0, 4), std::invalid_argument);
+  EXPECT_THROW(MeshGeometry(4, -1), std::invalid_argument);
+}
+
+TEST(MeshGeometry, CenterAndCorner) {
+  EXPECT_EQ(MeshGeometry(8, 8).center(), (Coord{4, 4}));
+  EXPECT_EQ(MeshGeometry(16, 16).center(), (Coord{8, 8}));
+  EXPECT_EQ(MeshGeometry::corner(), (Coord{0, 0}));
+}
+
+TEST(MeshGeometry, NodesByDistanceSortedAndComplete) {
+  const MeshGeometry geom(5, 5);
+  const auto order = geom.nodes_by_distance(Coord{2, 2});
+  ASSERT_EQ(order.size(), 25U);
+  EXPECT_EQ(order.front(), geom.id_of(Coord{2, 2}));
+  int prev = -1;
+  for (const NodeId id : order) {
+    const int d = manhattan_distance(geom.coord_of(id), Coord{2, 2});
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(VirtualCenter, MatchesDefinitionSix) {
+  // Paper Def. 6: component-wise mean of malicious node coordinates.
+  const std::vector<Coord> nodes = {{0, 0}, {2, 0}, {0, 2}, {2, 2}};
+  const PointF omega = virtual_center(nodes);
+  EXPECT_DOUBLE_EQ(omega.x, 1.0);
+  EXPECT_DOUBLE_EQ(omega.y, 1.0);
+}
+
+TEST(VirtualCenter, SingleNode) {
+  const std::vector<Coord> nodes = {{5, 7}};
+  const PointF omega = virtual_center(nodes);
+  EXPECT_DOUBLE_EQ(omega.x, 5.0);
+  EXPECT_DOUBLE_EQ(omega.y, 7.0);
+}
+
+TEST(VirtualCenter, ThrowsOnEmpty) {
+  const std::vector<Coord> nodes;
+  EXPECT_THROW((void)virtual_center(nodes), std::invalid_argument);
+}
+
+TEST(CenterDistance, MatchesDefinitionSeven) {
+  // HTs at (0,0) and (2,2): center (1,1); GM at (4,1) -> rho = 3.
+  const std::vector<Coord> nodes = {{0, 0}, {2, 2}};
+  EXPECT_DOUBLE_EQ(center_distance(Coord{4, 1}, nodes), 3.0);
+}
+
+TEST(PlacementDensity, MatchesDefinitionEight) {
+  // Square placement around (1,1): each node is |dx|+|dy| = 2 away.
+  const std::vector<Coord> nodes = {{0, 0}, {2, 0}, {0, 2}, {2, 2}};
+  EXPECT_DOUBLE_EQ(placement_density(nodes), 2.0);
+}
+
+TEST(PlacementDensity, ZeroForCoincidentNodes) {
+  const std::vector<Coord> nodes = {{3, 3}, {3, 3}, {3, 3}};
+  EXPECT_DOUBLE_EQ(placement_density(nodes), 0.0);
+}
+
+TEST(PlacementDensity, TightClusterDenserThanSpread) {
+  const std::vector<Coord> tight = {{4, 4}, {4, 5}, {5, 4}, {5, 5}};
+  const std::vector<Coord> spread = {{0, 0}, {0, 7}, {7, 0}, {7, 7}};
+  // Lower eta == tighter cluster == "higher density" in the paper's terms.
+  EXPECT_LT(placement_density(tight), placement_density(spread));
+}
+
+}  // namespace
+}  // namespace htpb

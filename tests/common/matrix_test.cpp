@@ -1,0 +1,145 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace htpb {
+namespace {
+
+TEST(Matrix, MultiplyKnown) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 2);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a(3, 2);
+  int v = 0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) a(r, c) = ++v;
+  }
+  const Matrix t = a.transposed();
+  ASSERT_EQ(t.rows(), 2U);
+  ASSERT_EQ(t.cols(), 3U);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(t(c, r), a(r, c));
+  }
+}
+
+TEST(Matrix, VectorMultiply) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  const std::vector<double> x = {5, 6};
+  const auto y = a * x;
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(CholeskySolve, Identity) {
+  Matrix eye(3, 3);
+  for (int i = 0; i < 3; ++i) eye(i, i) = 1.0;
+  const std::vector<double> b = {1.0, -2.0, 3.0};
+  const auto x = cholesky_solve(eye, b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[i], b[i], 1e-12);
+}
+
+TEST(CholeskySolve, KnownSpdSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 3;
+  const std::vector<double> b = {10.0, 8.0};
+  const auto x = cholesky_solve(a, b);
+  EXPECT_NEAR(4 * x[0] + 2 * x[1], 10.0, 1e-10);
+  EXPECT_NEAR(2 * x[0] + 3 * x[1], 8.0, 1e-10);
+}
+
+TEST(CholeskySolve, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 1;  // eigenvalues 3 and -1
+  const std::vector<double> b = {1.0, 1.0};
+  EXPECT_THROW(cholesky_solve(a, b), std::runtime_error);
+}
+
+TEST(LeastSquares, RecoversPlantedCoefficients) {
+  // y = 3 + 2*x1 - 1.5*x2 with noise-free rows must be recovered exactly.
+  Rng rng(99);
+  const std::size_t n = 60;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x1 = rng.uniform(-5, 5);
+    const double x2 = rng.uniform(-5, 5);
+    x(i, 0) = 1.0;
+    x(i, 1) = x1;
+    x(i, 2) = x2;
+    y[i] = 3.0 + 2.0 * x1 - 1.5 * x2;
+  }
+  const auto beta = least_squares(x, y);
+  EXPECT_NEAR(beta[0], 3.0, 1e-6);
+  EXPECT_NEAR(beta[1], 2.0, 1e-6);
+  EXPECT_NEAR(beta[2], -1.5, 1e-6);
+}
+
+TEST(LeastSquares, RobustToNoise) {
+  Rng rng(123);
+  const std::size_t n = 4000;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x1 = rng.uniform(-1, 1);
+    x(i, 0) = 1.0;
+    x(i, 1) = x1;
+    y[i] = 0.5 + 4.0 * x1 + rng.uniform(-0.1, 0.1);
+  }
+  const auto beta = least_squares(x, y);
+  EXPECT_NEAR(beta[0], 0.5, 0.02);
+  EXPECT_NEAR(beta[1], 4.0, 0.02);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  Matrix x(2, 3);
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(least_squares(x, y), std::invalid_argument);
+}
+
+TEST(RSquared, PerfectFitIsOne) {
+  const std::vector<double> obs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r_squared(obs, obs), 1.0);
+}
+
+TEST(RSquared, MeanPredictorIsZero) {
+  const std::vector<double> obs = {1, 2, 3, 4, 5};
+  const std::vector<double> pred(5, 3.0);
+  EXPECT_NEAR(r_squared(pred, obs), 0.0, 1e-12);
+}
+
+TEST(RSquared, SizeMismatchThrows) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_THROW((void)r_squared(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htpb

@@ -1,0 +1,114 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace htpb {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat a;
+  RunningStat b;
+  RunningStat whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i < 20 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2U);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2U);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Histogram, BucketsAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);
+  h.add(0.999);
+  h.add(5.0);
+  h.add(9.999);
+  h.add(-1.0);
+  h.add(10.0);
+  EXPECT_EQ(h.total(), 6U);
+  EXPECT_EQ(h.bucket(0), 2U);
+  EXPECT_EQ(h.bucket(5), 1U);
+  EXPECT_EQ(h.bucket(9), 1U);
+  EXPECT_EQ(h.underflow(), 1U);
+  EXPECT_EQ(h.overflow(), 1U);
+}
+
+TEST(Histogram, PercentileMonotone) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(SpanStats, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of(std::vector<double>{2.0}), 0.0);
+}
+
+TEST(Correlation, PerfectPositiveAndNegative) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Correlation, DegenerateCasesReturnZero) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> flat = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(correlation(xs, flat), 0.0);
+  const std::vector<double> mismatched = {1, 2};
+  EXPECT_DOUBLE_EQ(correlation(xs, mismatched), 0.0);
+}
+
+}  // namespace
+}  // namespace htpb

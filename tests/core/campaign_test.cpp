@@ -1,0 +1,151 @@
+// End-to-end attack experiments: the paper's core claims on a 64-node chip.
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/infection.hpp"
+#include "core/placement.hpp"
+#include "workload/application.hpp"
+
+namespace htpb::core {
+namespace {
+
+CampaignConfig fast_config(int mix_index = 0) {
+  CampaignConfig cfg;
+  cfg.system = system::SystemConfig::with_size(64);
+  cfg.system.epoch_cycles = 1500;
+  cfg.mix = workload::standard_mixes().at(static_cast<std::size_t>(mix_index));
+  cfg.trojan.victim_scale = 0.10;
+  cfg.trojan.attacker_boost = 8.0;
+  cfg.warmup_epochs = 2;
+  cfg.measure_epochs = 4;
+  return cfg;
+}
+
+TEST(AttackCampaign, NoTrojansMeansNoEffect) {
+  AttackCampaign campaign(fast_config());
+  const auto out = campaign.run({});
+  EXPECT_DOUBLE_EQ(out.infection_measured, 0.0);
+  ASSERT_TRUE(out.q_valid);
+  // Identical seed and no tampering: attacked run == baseline run exactly.
+  EXPECT_NEAR(out.q, 1.0, 1e-9);
+  for (const auto& app : out.apps) EXPECT_NEAR(app.change, 1.0, 1e-9);
+}
+
+TEST(AttackCampaign, TrojansNearManagerFlipTheAllocation) {
+  AttackCampaign campaign(fast_config());
+  const MeshGeometry geom(8, 8);
+  const auto hts = clustered_placement(
+      geom, 8, geom.coord_of(campaign.gm_node()), campaign.gm_node());
+  const auto out = campaign.run(hts);
+
+  EXPECT_GT(out.infection_measured, 0.9);
+  EXPECT_NEAR(out.infection_measured, out.infection_predicted, 0.1);
+  ASSERT_TRUE(out.q_valid);
+  EXPECT_GT(out.q, 1.5);
+  for (const auto& app : out.apps) {
+    if (app.attacker) {
+      EXPECT_GE(app.change, 0.98) << app.name;
+    } else {
+      EXPECT_LT(app.change, 0.7) << app.name;
+    }
+  }
+  EXPECT_GT(out.trojan_totals.victim_requests_modified, 0U);
+  EXPECT_GT(out.trojan_totals.attacker_requests_boosted, 0U);
+  EXPECT_EQ(out.geometry.m, 8);
+}
+
+TEST(AttackCampaign, QGrowsWithInfectionRate) {
+  AttackCampaign campaign(fast_config());
+  const MeshGeometry geom(8, 8);
+  const InfectionAnalyzer analyzer(geom, campaign.gm_node());
+  Rng rng(3);
+  double prev_q = 0.0;
+  double prev_infection = -1.0;
+  for (const double target : {0.25, 0.55, 0.95}) {
+    const auto hts = analyzer.placement_for_target(target, 32, rng);
+    const auto out = campaign.run(hts);
+    EXPECT_GT(out.infection_measured, prev_infection);
+    EXPECT_GT(out.q, prev_q * 0.98) << "Q not (weakly) increasing";
+    prev_q = out.q;
+    prev_infection = out.infection_measured;
+  }
+  EXPECT_GT(prev_q, 1.5);
+}
+
+TEST(AttackCampaign, DeactivatedTrojansAreHarmless) {
+  CampaignConfig cfg = fast_config();
+  cfg.trojan.active = false;  // broadcast carries the OFF signal
+  AttackCampaign campaign(cfg);
+  const MeshGeometry geom(8, 8);
+  const auto hts = clustered_placement(
+      geom, 8, geom.coord_of(campaign.gm_node()), campaign.gm_node());
+  const auto out = campaign.run(hts);
+  EXPECT_DOUBLE_EQ(out.infection_measured, 0.0);
+  // The configuration broadcast itself perturbs packet interleaving a
+  // little, so the run is not bit-identical to the baseline -- but a
+  // dormant Trojan must have no systematic effect.
+  EXPECT_NEAR(out.q, 1.0, 0.05);
+  EXPECT_EQ(out.trojan_totals.victim_requests_modified, 0U);
+}
+
+TEST(AttackCampaign, InfectionOnlyModeCoversFigThreeSetup) {
+  CampaignConfig cfg;
+  cfg.system = system::SystemConfig::with_size(64);
+  cfg.system.epoch_cycles = 1500;
+  cfg.mix = std::nullopt;  // uniform single-app workload
+  cfg.warmup_epochs = 1;
+  cfg.measure_epochs = 3;
+  AttackCampaign campaign(cfg);
+  const MeshGeometry geom(8, 8);
+  const auto near_gm = clustered_placement(
+      geom, 6, geom.coord_of(campaign.gm_node()), campaign.gm_node());
+  const double infected = campaign.run_infection_only(near_gm);
+  EXPECT_GT(infected, 0.5);
+  const double clean = campaign.run_infection_only({});
+  EXPECT_DOUBLE_EQ(clean, 0.0);
+}
+
+TEST(AttackCampaign, CornerManagerSeesHigherInfectionThanCenter) {
+  // Fig. 3's second claim, on the simulator rather than the analyzer.
+  Rng rng(7);
+  const MeshGeometry geom(8, 8);
+  auto run_with_gm = [&](system::GmPlacement place) {
+    CampaignConfig cfg;
+    cfg.system = system::SystemConfig::with_size(64);
+    cfg.system.epoch_cycles = 1500;
+    cfg.system.gm_placement = place;
+    cfg.mix = std::nullopt;
+    cfg.warmup_epochs = 1;
+    cfg.measure_epochs = 3;
+    AttackCampaign campaign(cfg);
+    double sum = 0.0;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      Rng r(seed + 100);
+      const auto hts = random_placement(geom, 12, r, campaign.gm_node());
+      sum += campaign.run_infection_only(hts);
+    }
+    return sum / 3.0;
+  };
+  const double center = run_with_gm(system::GmPlacement::kCenter);
+  const double corner = run_with_gm(system::GmPlacement::kCorner);
+  EXPECT_GT(corner, center);
+}
+
+TEST(AttackCampaign, BaselinePhiExposesSensitivitySpread) {
+  AttackCampaign campaign(fast_config());
+  const auto& phis = campaign.baseline_phi();
+  ASSERT_EQ(phis.size(), 4U);
+  // mix-1: blackscholes (victim index 2) must dominate canneal (index 1).
+  EXPECT_GT(phis[2], phis[1]);
+}
+
+TEST(AttackCampaign, MoreAppsThanCoresRejected) {
+  CampaignConfig cfg = fast_config();
+  cfg.system.width = 2;
+  cfg.system.height = 1;
+  EXPECT_THROW(AttackCampaign{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htpb::core

@@ -1,0 +1,121 @@
+#include "core/infection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/placement.hpp"
+
+namespace htpb::core {
+namespace {
+
+TEST(InfectionAnalyzer, SingleHtAtManagerCoversEverything) {
+  const MeshGeometry geom(8, 8);
+  const NodeId gm = geom.id_of({4, 4});
+  const InfectionAnalyzer analyzer(geom, gm);
+  // Every XY route ends at the manager's router.
+  const std::vector<NodeId> hts = {gm};
+  EXPECT_DOUBLE_EQ(analyzer.predicted_rate(hts), 1.0);
+}
+
+TEST(InfectionAnalyzer, HtAtSourceOnlyCoversThatSource) {
+  const MeshGeometry geom(8, 8);
+  const NodeId gm = geom.id_of({4, 4});
+  const InfectionAnalyzer analyzer(geom, gm);
+  const NodeId corner = geom.id_of({7, 7});
+  // A Trojan in the far corner's router sees only that node's requests
+  // (no other XY path to the center crosses the corner).
+  const std::vector<NodeId> hts = {corner};
+  EXPECT_DOUBLE_EQ(analyzer.predicted_rate(hts), 1.0 / 63.0);
+}
+
+TEST(InfectionAnalyzer, NeighborsOfManagerCoverQuadrants) {
+  const MeshGeometry geom(8, 8);
+  const NodeId gm = geom.id_of({4, 4});
+  const InfectionAnalyzer analyzer(geom, gm);
+  // XY routes to the manager approach along column x=4 after the X leg.
+  // A Trojan just north of the manager at (4,3) covers every source with
+  // y < 4 (they finish their Y leg through it): 8*4 = 32 sources... but
+  // sources on column 4 north also count. Verify against brute force.
+  const NodeId north = geom.id_of({4, 3});
+  int expected = 0;
+  for (NodeId s = 0; s < 64; ++s) {
+    if (s == gm) continue;
+    if (analyzer.route_covers(s, north)) ++expected;
+  }
+  EXPECT_EQ(analyzer.coverage_of(north), expected);
+  EXPECT_DOUBLE_EQ(analyzer.predicted_rate(std::vector<NodeId>{north}),
+                   expected / 63.0);
+  EXPECT_EQ(expected, 32);  // the whole northern half routes through (4,3)
+}
+
+TEST(InfectionAnalyzer, ExplicitSourceSubset) {
+  const MeshGeometry geom(4, 4);
+  const NodeId gm = 0;
+  const InfectionAnalyzer analyzer(geom, gm);
+  const std::vector<NodeId> hts = {1};  // (1,0)
+  // Sources on row 0 east of x=1 pass through (1,0) under XY; node 5 does
+  // not (its x-leg runs on row 1).
+  const std::vector<NodeId> split = {2, 5};
+  EXPECT_DOUBLE_EQ(analyzer.predicted_rate(hts, split), 0.5);
+}
+
+TEST(InfectionAnalyzer, MoreHtsNeverLowerRate) {
+  const MeshGeometry geom(8, 8);
+  const NodeId gm = geom.id_of({4, 4});
+  const InfectionAnalyzer analyzer(geom, gm);
+  Rng rng(17);
+  std::vector<NodeId> hts;
+  double prev = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    NodeId candidate;
+    do {
+      candidate = static_cast<NodeId>(rng.below(64));
+    } while (candidate == gm);
+    hts.push_back(candidate);
+    const double rate = analyzer.predicted_rate(hts);
+    EXPECT_GE(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(InfectionAnalyzer, TargetPlacementHitsRequestedRates) {
+  const MeshGeometry geom(16, 16);
+  const NodeId gm = geom.id_of({8, 8});
+  const InfectionAnalyzer analyzer(geom, gm);
+  Rng rng(23);
+  for (const double target : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const auto hts = analyzer.placement_for_target(target, 64, rng);
+    ASSERT_FALSE(hts.empty());
+    const double rate = analyzer.predicted_rate(hts);
+    EXPECT_GE(rate, target - 0.02);
+    EXPECT_LE(rate, target + 0.15) << "wild overshoot for target " << target;
+    for (const NodeId ht : hts) EXPECT_NE(ht, gm);
+  }
+}
+
+TEST(InfectionAnalyzer, TargetPlacementRespectsHtBudget) {
+  const MeshGeometry geom(8, 8);
+  const InfectionAnalyzer analyzer(geom, geom.id_of({4, 4}));
+  Rng rng(29);
+  const auto hts = analyzer.placement_for_target(0.99, 3, rng);
+  EXPECT_LE(hts.size(), 3U);
+}
+
+TEST(InfectionAnalyzer, CenterClusterBeatsCornerCluster) {
+  // The Fig. 4 ordering, predicted analytically: center > random > corner.
+  const MeshGeometry geom(16, 16);
+  const NodeId gm = geom.id_of({8, 8});
+  const InfectionAnalyzer analyzer(geom, gm);
+  Rng rng(31);
+  const int m = 16;
+  const auto center = clustered_placement(geom, m, geom.center(), gm);
+  const auto corner = clustered_placement(geom, m, {0, 0}, gm);
+  const auto random = random_placement(geom, m, rng, gm);
+  const double rate_center = analyzer.predicted_rate(center);
+  const double rate_corner = analyzer.predicted_rate(corner);
+  const double rate_random = analyzer.predicted_rate(random);
+  EXPECT_GT(rate_center, rate_random);
+  EXPECT_GT(rate_random, rate_corner);
+}
+
+}  // namespace
+}  // namespace htpb::core

@@ -1,0 +1,87 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/area_power.hpp"
+
+namespace htpb::core {
+namespace {
+
+TEST(PerformanceChange, DefinitionTwo) {
+  EXPECT_DOUBLE_EQ(performance_change(3.0, 4.0), 0.75);
+  EXPECT_DOUBLE_EQ(performance_change(5.0, 4.0), 1.25);
+  EXPECT_DOUBLE_EQ(performance_change(0.0, 4.0), 0.0);
+  // Zero baseline: neutral by definition.
+  EXPECT_DOUBLE_EQ(performance_change(3.0, 0.0), 1.0);
+}
+
+TEST(AttackEffectQ, DefinitionThreeHandComputed) {
+  // V = 2 victims, A = 1 attacker. Q = (V * sum(Theta_a)) / (A * sum(Theta_v)).
+  const std::vector<double> attackers = {1.2};
+  const std::vector<double> victims = {0.6, 0.9};
+  EXPECT_DOUBLE_EQ(attack_effect_q(attackers, victims),
+                   (2.0 * 1.2) / (1.0 * 1.5));
+}
+
+TEST(AttackEffectQ, NeutralWhenNothingChanges) {
+  const std::vector<double> ones_a = {1.0, 1.0};
+  const std::vector<double> ones_v = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(attack_effect_q(ones_a, ones_v), 1.0);
+  const std::vector<double> one_a = {1.0};
+  const std::vector<double> three_v = {1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(attack_effect_q(one_a, three_v), 1.0);
+}
+
+TEST(AttackEffectQ, GrowsWithAttackerGainAndVictimLoss) {
+  const std::vector<double> base_a = {1.0};
+  const std::vector<double> base_v = {1.0};
+  const double q0 = attack_effect_q(base_a, base_v);
+  const std::vector<double> gain_a = {1.5};
+  EXPECT_GT(attack_effect_q(gain_a, base_v), q0);
+  const std::vector<double> hurt_v = {0.5};
+  EXPECT_GT(attack_effect_q(base_a, hurt_v), q0);
+}
+
+TEST(AttackEffectQ, RejectsEmptySets) {
+  const std::vector<double> some = {1.0};
+  const std::vector<double> none;
+  EXPECT_THROW((void)attack_effect_q(none, some), std::invalid_argument);
+  EXPECT_THROW((void)attack_effect_q(some, none), std::invalid_argument);
+}
+
+TEST(PlacementGeometryMetric, HandComputedSquare) {
+  const MeshGeometry geom(8, 8);
+  // HTs at the four corners of a 2x2 box around (1,1) (ids of (0,0),(2,0),(0,2),(2,2)).
+  const std::vector<NodeId> hts = {geom.id_of({0, 0}), geom.id_of({2, 0}),
+                                   geom.id_of({0, 2}), geom.id_of({2, 2})};
+  const NodeId gm = geom.id_of({4, 4});
+  const PlacementGeometry pg = placement_geometry(geom, gm, hts);
+  EXPECT_DOUBLE_EQ(pg.omega.x, 1.0);
+  EXPECT_DOUBLE_EQ(pg.omega.y, 1.0);
+  EXPECT_DOUBLE_EQ(pg.rho, 6.0);  // |4-1| + |4-1|
+  EXPECT_DOUBLE_EQ(pg.eta, 2.0);  // each corner is 2 from (1,1)
+  EXPECT_EQ(pg.m, 4);
+}
+
+TEST(HtAreaPower, PaperSectionIIIDNumbers) {
+  const HtAreaPowerModel model;
+  // One HT vs one router: ~0.017% area, ~0.0017% power.
+  EXPECT_NEAR(model.area_fraction_of_router() * 100.0, 0.017, 0.001);
+  EXPECT_NEAR(model.power_fraction_of_router() * 100.0, 0.0017, 0.0002);
+  // 60 HTs: 730.296 um^2 and 33.0108 uW in total.
+  EXPECT_NEAR(model.total_area_um2(60), 730.296, 1e-9);
+  EXPECT_NEAR(model.total_power_uw(60), 33.0108, 1e-9);
+  // vs all routers of a 512-node chip: ~0.002% area, ~0.0002% power.
+  EXPECT_NEAR(model.area_fraction_of_chip(60, 512) * 100.0, 0.002, 0.0003);
+  EXPECT_NEAR(model.power_fraction_of_chip(60, 512) * 100.0, 0.0002, 0.00003);
+}
+
+TEST(HtAreaPower, ScalesLinearlyInHtCount) {
+  const HtAreaPowerModel model;
+  EXPECT_DOUBLE_EQ(model.total_area_um2(2), 2.0 * model.ht_area_um2);
+  EXPECT_DOUBLE_EQ(model.area_fraction_of_chip(10, 64),
+                   10.0 * model.area_fraction_of_chip(1, 64));
+}
+
+}  // namespace
+}  // namespace htpb::core

@@ -1,0 +1,86 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace htpb::core {
+namespace {
+
+TEST(RandomPlacement, DistinctNodesExcludingManager) {
+  const MeshGeometry geom(8, 8);
+  Rng rng(5);
+  const NodeId gm = 36;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto nodes = random_placement(geom, 10, rng, gm);
+    ASSERT_EQ(nodes.size(), 10U);
+    std::set<NodeId> unique(nodes.begin(), nodes.end());
+    EXPECT_EQ(unique.size(), 10U);
+    EXPECT_EQ(unique.count(gm), 0U);
+  }
+}
+
+TEST(RandomPlacement, RejectsBadCounts) {
+  const MeshGeometry geom(4, 4);
+  Rng rng(1);
+  EXPECT_THROW((void)random_placement(geom, 0, rng, 0), std::invalid_argument);
+  EXPECT_THROW((void)random_placement(geom, 16, rng, 0), std::invalid_argument);
+}
+
+TEST(ClusteredPlacement, TakesNearestNodes) {
+  const MeshGeometry geom(8, 8);
+  const auto nodes = clustered_placement(geom, 5, {0, 0}, 63);
+  ASSERT_EQ(nodes.size(), 5U);
+  // The five nodes closest to the corner: (0,0),(1,0),(0,1),(2,0)/(1,1)/(0,2)...
+  for (const NodeId n : nodes) {
+    EXPECT_LE(manhattan_distance(geom.coord_of(n), Coord{0, 0}), 2);
+  }
+}
+
+TEST(ClusteredPlacement, SkipsExcludedManager) {
+  const MeshGeometry geom(8, 8);
+  const NodeId gm = geom.id_of({4, 4});
+  const auto nodes = clustered_placement(geom, 4, {4, 4}, gm);
+  for (const NodeId n : nodes) EXPECT_NE(n, gm);
+}
+
+TEST(DescribePlacement, AnnotatesRhoEta) {
+  const MeshGeometry geom(8, 8);
+  const NodeId gm = geom.id_of({4, 4});
+  const auto p = describe_placement(
+      geom, gm, {geom.id_of({0, 0}), geom.id_of({2, 2})});
+  EXPECT_EQ(p.m(), 2);
+  EXPECT_DOUBLE_EQ(p.rho, 6.0);  // center (1,1) vs (4,4)
+  EXPECT_DOUBLE_EQ(p.eta, 2.0);
+}
+
+TEST(CandidatePlacements, DiverseDescriptors) {
+  const MeshGeometry geom(8, 8);
+  const NodeId gm = geom.id_of({4, 4});
+  Rng rng(7);
+  const auto candidates = candidate_placements(geom, gm, 6, 64, rng);
+  ASSERT_EQ(candidates.size(), 64U);
+  double min_rho = 1e9;
+  double max_rho = 0.0;
+  double min_eta = 1e9;
+  double max_eta = 0.0;
+  for (const auto& c : candidates) {
+    ASSERT_EQ(c.nodes.size(), 6U);
+    std::set<NodeId> unique(c.nodes.begin(), c.nodes.end());
+    EXPECT_EQ(unique.size(), 6U);
+    EXPECT_EQ(unique.count(gm), 0U);
+    min_rho = std::min(min_rho, c.rho);
+    max_rho = std::max(max_rho, c.rho);
+    min_eta = std::min(min_eta, c.eta);
+    max_eta = std::max(max_eta, c.eta);
+  }
+  // The candidate generator must span the descriptor plane for the
+  // optimizer's enumeration to be meaningful.
+  EXPECT_LT(min_rho, 2.0);
+  EXPECT_GT(max_rho, 5.0);
+  EXPECT_LT(min_eta, 1.5);
+  EXPECT_GT(max_eta, 3.0);
+}
+
+}  // namespace
+}  // namespace htpb::core

@@ -1,0 +1,46 @@
+#include "cpu/frequency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace htpb::cpu {
+namespace {
+
+TEST(FrequencyTable, DefaultHasEightAscendingLevels) {
+  const FrequencyTable table;
+  ASSERT_EQ(table.num_levels(), 8);
+  EXPECT_DOUBLE_EQ(table.ghz(0), 0.60);
+  EXPECT_DOUBLE_EQ(table.ghz(table.max_level()), 2.75);
+  for (int i = 1; i < table.num_levels(); ++i) {
+    EXPECT_GT(table.ghz(i), table.ghz(i - 1));
+    EXPECT_GT(table.volts(i), table.volts(i - 1));
+  }
+}
+
+TEST(FrequencyTable, MinMaxLevels) {
+  const FrequencyTable table;
+  EXPECT_EQ(table.min_level(), 0);
+  EXPECT_EQ(table.max_level(), 7);
+}
+
+TEST(FrequencyTable, CustomLadder) {
+  const FrequencyTable table({{1.0, 0.7}, {2.0, 0.9}});
+  EXPECT_EQ(table.num_levels(), 2);
+  EXPECT_DOUBLE_EQ(table.level(1).ghz, 2.0);
+}
+
+TEST(FrequencyTable, RejectsDegenerateLadders) {
+  EXPECT_THROW(FrequencyTable({{1.0, 0.7}}), std::invalid_argument);
+  EXPECT_THROW(FrequencyTable({{2.0, 0.9}, {1.0, 0.7}}),
+               std::invalid_argument);
+  EXPECT_THROW(FrequencyTable({{1.0, 0.7}, {1.0, 0.8}}),
+               std::invalid_argument);
+}
+
+TEST(FrequencyTable, LevelOutOfRangeThrows) {
+  const FrequencyTable table;
+  EXPECT_THROW((void)table.level(8), std::out_of_range);
+  EXPECT_THROW((void)table.level(-1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace htpb::cpu

@@ -1,0 +1,68 @@
+#include "cpu/ipc_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace htpb::cpu {
+namespace {
+
+TEST(IpcModel, ComputeBoundIpcNearlyFlatInFrequency) {
+  IpcModel model(0.5, 0.0005);
+  model.set_mem_latency_ns(40.0);
+  const double ipc_lo = model.ipc(1.0);
+  const double ipc_hi = model.ipc(2.75);
+  EXPECT_GT(ipc_hi, 0.9 * ipc_lo);  // IPC barely moves
+  // But throughput scales nearly linearly.
+  EXPECT_GT(model.throughput(2.75), 2.3 * model.throughput(1.0));
+}
+
+TEST(IpcModel, MemoryBoundThroughputSaturates) {
+  IpcModel model(0.9, 0.01);
+  model.set_mem_latency_ns(250.0);  // streams through main memory
+  const double gain = model.throughput(2.75) / model.throughput(1.0);
+  EXPECT_LT(gain, 1.5);  // far below the 2.75x frequency ratio
+}
+
+TEST(IpcModel, ThroughputMonotoneInFrequency) {
+  for (const double mpi : {0.0, 0.001, 0.01, 0.05}) {
+    IpcModel model(0.6, mpi);
+    model.set_mem_latency_ns(120.0);
+    double prev = 0.0;
+    for (double f = 0.6; f <= 2.8; f += 0.25) {
+      const double t = model.throughput(f);
+      EXPECT_GT(t, prev) << "mpi=" << mpi << " f=" << f;
+      prev = t;
+    }
+  }
+}
+
+TEST(IpcModel, HigherLatencyLowersIpc) {
+  IpcModel fast(0.6, 0.005);
+  IpcModel slow(0.6, 0.005);
+  fast.set_mem_latency_ns(30.0);
+  slow.set_mem_latency_ns(300.0);
+  EXPECT_GT(fast.ipc(2.0), slow.ipc(2.0));
+}
+
+TEST(IpcModel, ObserveLatencyConvergesToObservations) {
+  IpcModel model(0.6, 0.005);
+  model.set_mem_latency_ns(40.0);
+  for (int i = 0; i < 500; ++i) model.observe_latency(200.0);
+  EXPECT_NEAR(model.mem_latency_ns(), 200.0, 1.0);
+}
+
+TEST(IpcModel, UpdateMpiMovesTowardMeasurement) {
+  IpcModel model(0.6, 0.001);
+  for (int i = 0; i < 100; ++i) model.update_mpi(0.01);
+  EXPECT_NEAR(model.mpi(), 0.01, 0.0005);
+  model.update_mpi(-1.0);  // invalid measurements are ignored
+  EXPECT_NEAR(model.mpi(), 0.01, 0.0005);
+}
+
+TEST(IpcModel, ZeroMissRateGivesPureCoreIpc) {
+  IpcModel model(0.5, 0.0);
+  model.set_mem_latency_ns(1000.0);
+  EXPECT_DOUBLE_EQ(model.ipc(2.0), 2.0);  // 1 / 0.5
+}
+
+}  // namespace
+}  // namespace htpb::cpu

@@ -1,0 +1,114 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace htpb::mem {
+namespace {
+
+using IntCache = SetAssocCache<int>;
+
+TEST(SetAssocCache, MissThenHit) {
+  IntCache cache(16, 2);
+  EXPECT_EQ(cache.find(0x100), nullptr);
+  bool evicted = false;
+  auto& line = cache.allocate(0x100, nullptr, &evicted);
+  EXPECT_FALSE(evicted);
+  line.data = 42;
+  auto* found = cache.find(0x100);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->data, 42);
+}
+
+TEST(SetAssocCache, RejectsBadGeometry) {
+  EXPECT_THROW(IntCache(15, 2), std::invalid_argument);  // not a power of 2
+  EXPECT_THROW(IntCache(0, 2), std::invalid_argument);
+  EXPECT_THROW(IntCache(16, 0), std::invalid_argument);
+}
+
+TEST(SetAssocCache, LruEviction) {
+  IntCache cache(1, 2);  // fully associative pair
+  bool evicted = false;
+  cache.allocate(1, nullptr, &evicted).data = 1;
+  cache.allocate(2, nullptr, &evicted).data = 2;
+  (void)cache.find(1);  // touch 1: now 2 is LRU
+  IntCache::Line victim;
+  cache.allocate(3, &victim, &evicted);
+  EXPECT_TRUE(evicted);
+  EXPECT_EQ(victim.addr, 2U);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+}
+
+TEST(SetAssocCache, SetConflictsOnlyWithinSet) {
+  IntCache cache(4, 1);  // direct mapped, 4 sets
+  bool evicted = false;
+  cache.allocate(0, nullptr, &evicted);   // set 0
+  cache.allocate(1, nullptr, &evicted);   // set 1
+  cache.allocate(4, nullptr, &evicted);   // set 0 again: evicts addr 0
+  EXPECT_TRUE(evicted);
+  EXPECT_EQ(cache.find(0), nullptr);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_NE(cache.find(4), nullptr);
+}
+
+TEST(SetAssocCache, AllocateExistingLineIsIdempotent) {
+  IntCache cache(4, 2);
+  bool evicted = true;
+  auto& first = cache.allocate(8, nullptr, &evicted);
+  first.data = 7;
+  auto& again = cache.allocate(8, nullptr, &evicted);
+  EXPECT_FALSE(evicted);
+  EXPECT_EQ(again.data, 7);
+  EXPECT_EQ(cache.occupancy(), 1U);
+}
+
+TEST(SetAssocCache, EvictableFilterSkipsProtectedLines) {
+  IntCache cache(1, 2);
+  bool evicted = false;
+  cache.allocate(1, nullptr, &evicted).data = 1;
+  cache.allocate(2, nullptr, &evicted).data = 2;
+  IntCache::Line victim;
+  // Protect line 1 (the LRU): the filter must divert eviction to line 2.
+  cache.allocate(3, &victim, &evicted,
+                 [](const IntCache::Line& l) { return l.addr != 1; });
+  EXPECT_TRUE(evicted);
+  EXPECT_EQ(victim.addr, 2U);
+  EXPECT_NE(cache.find(1), nullptr);
+}
+
+TEST(SetAssocCache, EvictableFilterFallsBackWhenAllProtected) {
+  IntCache cache(1, 2);
+  bool evicted = false;
+  cache.allocate(1, nullptr, &evicted);
+  cache.allocate(2, nullptr, &evicted);
+  IntCache::Line victim;
+  cache.allocate(3, &victim, &evicted,
+                 [](const IntCache::Line&) { return false; });
+  EXPECT_TRUE(evicted);  // global LRU evicted anyway
+  EXPECT_EQ(victim.addr, 1U);
+}
+
+TEST(SetAssocCache, InvalidateRemovesLine) {
+  IntCache cache(4, 2);
+  bool evicted = false;
+  cache.allocate(5, nullptr, &evicted);
+  EXPECT_TRUE(cache.invalidate(5));
+  EXPECT_EQ(cache.find(5), nullptr);
+  EXPECT_FALSE(cache.invalidate(5));
+  EXPECT_EQ(cache.occupancy(), 0U);
+}
+
+TEST(SetAssocCache, PeekDoesNotTouchLru) {
+  IntCache cache(1, 2);
+  bool evicted = false;
+  cache.allocate(1, nullptr, &evicted);
+  cache.allocate(2, nullptr, &evicted);
+  (void)cache.peek(1);  // must NOT refresh line 1
+  IntCache::Line victim;
+  cache.allocate(3, &victim, &evicted);
+  EXPECT_EQ(victim.addr, 1U);  // 1 was still LRU despite the peek
+}
+
+}  // namespace
+}  // namespace htpb::mem

@@ -1,0 +1,110 @@
+// Randomized protocol stress: many cores hammer a small set of shared
+// lines; the single-writer invariant must hold at every quiescent point
+// and the system must always drain.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mem/coherence.hpp"
+#include "mem/l1_cache.hpp"
+#include "mem/l2_bank.hpp"
+#include "noc/network.hpp"
+#include "sim/engine.hpp"
+
+namespace htpb::mem {
+namespace {
+
+struct StressParam {
+  int mesh = 2;        // mesh side
+  std::uint64_t lines = 8;
+  std::uint64_t seed = 1;
+  int bursts = 20;
+  int accesses_per_burst = 30;
+};
+
+class CoherenceStressTest : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(CoherenceStressTest, SingleWriterManyReadersInvariant) {
+  const StressParam p = GetParam();
+  sim::Engine engine;
+  MeshGeometry geom(p.mesh, p.mesh);
+  noc::NocConfig noc_cfg;
+  noc::MeshNetwork net(engine, geom, noc_cfg);
+  L1Config l1_cfg;
+  L2Config l2_cfg;
+  l2_cfg.mem_latency = 40;
+  const auto n = static_cast<NodeId>(geom.node_count());
+
+  std::vector<std::unique_ptr<L1Cache>> l1s;
+  std::vector<std::unique_ptr<L2Bank>> l2s;
+  for (NodeId i = 0; i < n; ++i) {
+    l1s.push_back(std::make_unique<L1Cache>(i, l1_cfg, &net, nullptr));
+    l2s.push_back(std::make_unique<L2Bank>(i, l2_cfg, &net, &engine));
+    net.set_handler(i, [&, i](const noc::Packet& pkt) {
+      switch (pkt.type) {
+        case noc::PacketType::kMemReply:
+        case noc::PacketType::kCohInvalidate:
+          l1s[i]->on_packet(pkt);
+          break;
+        case noc::PacketType::kMemReadReq:
+        case noc::PacketType::kMemWriteReq:
+        case noc::PacketType::kWriteback:
+        case noc::PacketType::kCohAck:
+          l2s[i]->on_packet(pkt);
+          break;
+        default:
+          break;
+      }
+    });
+  }
+
+  Rng rng(p.seed);
+  for (int burst = 0; burst < p.bursts; ++burst) {
+    for (int a = 0; a < p.accesses_per_burst; ++a) {
+      const auto node = static_cast<NodeId>(rng.below(n));
+      const std::uint64_t addr = 0xC000 + rng.below(p.lines);
+      l1s[node]->access(addr, rng.chance(0.4));
+    }
+    engine.run_cycles(2500);  // quiesce
+
+    // Drained: no MSHRs, no busy directory lines, idle network.
+    for (NodeId i = 0; i < n; ++i) {
+      ASSERT_EQ(l1s[i]->outstanding_misses(), 0U) << "burst " << burst;
+      ASSERT_EQ(l2s[i]->busy_lines(), 0U) << "burst " << burst;
+    }
+    ASSERT_TRUE(net.idle()) << "burst " << burst;
+
+    // Single-writer-or-many-readers per line.
+    for (std::uint64_t line = 0; line < p.lines; ++line) {
+      const std::uint64_t addr = 0xC000 + line;
+      int modified = 0;
+      int shared = 0;
+      for (NodeId i = 0; i < n; ++i) {
+        const MesiState st = l1s[i]->state_of(addr);
+        if (st == MesiState::kModified || st == MesiState::kExclusive) {
+          ++modified;
+        } else if (st == MesiState::kShared) {
+          ++shared;
+        }
+      }
+      ASSERT_LE(modified, 1) << "two owners for line " << line;
+      if (modified == 1) {
+        ASSERT_EQ(shared, 0) << "owner plus readers for line " << line;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoherenceStressTest,
+    ::testing::Values(StressParam{2, 4, 101, 15, 25},
+                      StressParam{2, 8, 202, 15, 40},
+                      StressParam{3, 8, 303, 12, 40},
+                      StressParam{3, 16, 404, 12, 60},
+                      StressParam{4, 8, 505, 10, 60},
+                      StressParam{4, 32, 606, 10, 80}));
+
+}  // namespace
+}  // namespace htpb::mem

@@ -1,0 +1,130 @@
+#include "power/defense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace htpb::power {
+namespace {
+
+std::vector<BudgetRequest> epoch(std::vector<std::uint32_t> mws) {
+  std::vector<BudgetRequest> reqs;
+  NodeId node = 0;
+  for (const auto mw : mws) reqs.push_back({node++, 0, mw});
+  return reqs;
+}
+
+TEST(RequestAnomalyDetector, QuietOnSteadyRequests) {
+  RequestAnomalyDetector detector;
+  for (int e = 0; e < 10; ++e) {
+    const auto report = detector.observe_epoch(epoch({2000, 2100, 1900}));
+    EXPECT_FALSE(report.any()) << "epoch " << e;
+  }
+  EXPECT_FALSE(detector.cumulative().any());
+}
+
+TEST(RequestAnomalyDetector, QuietOnGradualDrift) {
+  RequestAnomalyDetector detector;
+  // A workload phase change: requests drift down 15% per epoch -- inside
+  // the trust band, so the history follows and nothing is flagged.
+  double mw = 3000.0;
+  for (int e = 0; e < 12; ++e) {
+    const auto report =
+        detector.observe_epoch(epoch({static_cast<std::uint32_t>(mw)}));
+    EXPECT_FALSE(report.any()) << "epoch " << e;
+    mw *= 0.85;
+  }
+}
+
+TEST(RequestAnomalyDetector, FlagsAttenuatedVictim) {
+  RequestAnomalyDetector detector;
+  for (int e = 0; e < 4; ++e) (void)detector.observe_epoch(epoch({2000}));
+  // The Trojan activates: requests collapse by 10x.
+  (void)detector.observe_epoch(epoch({200}));
+  const auto report = detector.observe_epoch(epoch({200}));
+  ASSERT_EQ(report.flagged_low.size(), 1U);
+  EXPECT_EQ(report.flagged_low[0], 0U);
+  EXPECT_TRUE(report.flagged_high.empty());
+}
+
+TEST(RequestAnomalyDetector, FlagsBoostedAccomplice) {
+  RequestAnomalyDetector detector;
+  for (int e = 0; e < 4; ++e) (void)detector.observe_epoch(epoch({2000}));
+  (void)detector.observe_epoch(epoch({16000}));
+  const auto report = detector.observe_epoch(epoch({16000}));
+  ASSERT_EQ(report.flagged_high.size(), 1U);
+  EXPECT_TRUE(report.flagged_low.empty());
+}
+
+TEST(RequestAnomalyDetector, SingleSpikeNotConfirmed) {
+  RequestAnomalyDetector detector;  // confirm_epochs = 2
+  for (int e = 0; e < 4; ++e) (void)detector.observe_epoch(epoch({2000}));
+  (void)detector.observe_epoch(epoch({200}));   // one anomalous epoch
+  const auto report = detector.observe_epoch(epoch({2000}));  // recovers
+  EXPECT_FALSE(report.any());
+  EXPECT_FALSE(detector.cumulative().any());
+}
+
+TEST(RequestAnomalyDetector, EachCoreReportedOnce) {
+  RequestAnomalyDetector detector;
+  for (int e = 0; e < 4; ++e) (void)detector.observe_epoch(epoch({2000}));
+  for (int e = 0; e < 6; ++e) (void)detector.observe_epoch(epoch({200}));
+  EXPECT_EQ(detector.cumulative().flagged_low.size(), 1U);
+}
+
+TEST(RequestAnomalyDetector, AnomalousSamplesDoNotPoisonHistory) {
+  RequestAnomalyDetector detector;
+  for (int e = 0; e < 4; ++e) (void)detector.observe_epoch(epoch({2000}));
+  const double before = detector.history_of(0);
+  for (int e = 0; e < 5; ++e) (void)detector.observe_epoch(epoch({200}));
+  // The history must still reflect the honest baseline, not the tampered
+  // stream, so recovery is detected correctly.
+  EXPECT_NEAR(detector.history_of(0), before, 1.0);
+}
+
+TEST(GuardedBudgeter, ClampsTamperedRequests) {
+  GuardedBudgeter guarded(make_budgeter(BudgeterKind::kProportional));
+  // Build trust over several honest epochs.
+  std::vector<BudgetGrant> grants;
+  for (int e = 0; e < 5; ++e) {
+    grants = guarded.allocate(epoch({2000, 2000, 2000, 2000}), 6000, 400);
+  }
+  const std::uint32_t honest_grant = grants[0].grant_mw;
+  // Attack epoch: victim request slashed to 200, attacker boosted to 16000.
+  grants = guarded.allocate(epoch({200, 16000, 2000, 2000}), 6000, 400);
+  // The victim's grant is based on the clamped (trusted) value, so it
+  // stays within the band of its honest grant rather than collapsing 10x.
+  EXPECT_GT(grants[0].grant_mw, honest_grant / 3);
+  // The attacker cannot multiply its share by 8 either.
+  EXPECT_LT(grants[1].grant_mw, 3 * honest_grant);
+}
+
+TEST(GuardedBudgeter, TransparentForHonestTraffic) {
+  GuardedBudgeter guarded(make_budgeter(BudgeterKind::kProportional));
+  ProportionalBudgeter plain;
+  std::vector<BudgetGrant> g1;
+  std::vector<BudgetGrant> g2;
+  for (int e = 0; e < 6; ++e) {
+    const auto reqs = epoch({1000, 2000, 3000});
+    g1 = guarded.allocate(reqs, 4000, 300);
+    g2 = plain.allocate(reqs, 4000, 300);
+  }
+  ASSERT_EQ(g1.size(), g2.size());
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(g1[i].grant_mw),
+                static_cast<double>(g2[i].grant_mw), 2.0);
+  }
+}
+
+TEST(GuardedBudgeter, BudgetStillRespected) {
+  GuardedBudgeter guarded(make_budgeter(BudgeterKind::kGreedy));
+  for (int e = 0; e < 6; ++e) {
+    const auto grants = guarded.allocate(epoch({3000, 3000, 500}), 4000, 300);
+    std::uint64_t total = 0;
+    for (const auto& g : grants) total += g.grant_mw;
+    EXPECT_LE(total, 4000U);
+  }
+}
+
+}  // namespace
+}  // namespace htpb::power

@@ -1,0 +1,122 @@
+#include "power/global_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/engine.hpp"
+
+namespace htpb::power {
+namespace {
+
+struct GmFixture {
+  sim::Engine engine;
+  MeshGeometry geom{4, 4};
+  noc::NocConfig noc_cfg;
+  noc::MeshNetwork net{engine, geom, noc_cfg};
+  GlobalManager gm{5, &net, make_budgeter(BudgeterKind::kProportional),
+                   /*budget=*/4000, /*floor=*/500};
+
+  noc::Packet request(NodeId src, std::uint32_t mw, bool tampered = false,
+                      AppId app = 0) {
+    noc::Packet pkt;
+    pkt.src = src;
+    pkt.dst = 5;
+    pkt.type = noc::PacketType::kPowerRequest;
+    pkt.payload = mw;
+    pkt.tampered = tampered;
+    pkt.src_app = app;
+    return pkt;
+  }
+};
+
+TEST(GlobalManager, CollectsAndReplies) {
+  GmFixture f;
+  std::map<NodeId, std::uint32_t> grants;
+  for (NodeId n = 0; n < 16; ++n) {
+    f.net.set_handler(n, [&grants, n](const noc::Packet& pkt) {
+      if (pkt.type == noc::PacketType::kPowerGrant) grants[n] = pkt.payload;
+    });
+  }
+  f.gm.begin_epoch(0);
+  f.gm.on_power_request(f.request(1, 2000));
+  f.gm.on_power_request(f.request(2, 2000));
+  f.gm.on_power_request(f.request(3, 2000));
+  const EpochRecord rec = f.gm.allocate_and_reply();
+  EXPECT_EQ(rec.requests_received, 3U);
+  EXPECT_LE(rec.granted_mw, 4000U);
+  f.engine.run_cycles(60);
+  ASSERT_EQ(grants.size(), 3U);
+  std::uint64_t total = 0;
+  for (const auto& [node, mw] : grants) total += mw;
+  EXPECT_LE(total, 4000U);
+  EXPECT_GT(total, 0U);
+}
+
+TEST(GlobalManager, RequestsOutsideWindowDropped) {
+  GmFixture f;
+  f.gm.on_power_request(f.request(1, 1000));  // before any epoch
+  f.gm.begin_epoch(0);
+  f.gm.on_power_request(f.request(2, 1000));
+  const auto rec = f.gm.allocate_and_reply();
+  EXPECT_EQ(rec.requests_received, 1U);
+  f.gm.on_power_request(f.request(3, 1000));  // straggler after close
+  EXPECT_EQ(f.gm.history().back().requests_received, 1U);
+}
+
+TEST(GlobalManager, InfectionRateOverVictimRequests) {
+  GmFixture f;
+  f.gm.set_attacker_lookup([](AppId app) { return app == 9; });
+  f.gm.begin_epoch(0);
+  f.gm.on_power_request(f.request(1, 1000, /*tampered=*/true, /*app=*/0));
+  f.gm.on_power_request(f.request(2, 1000, /*tampered=*/false, /*app=*/0));
+  f.gm.on_power_request(f.request(3, 8000, /*tampered=*/false, /*app=*/9));
+  const auto rec = f.gm.allocate_and_reply();
+  EXPECT_EQ(rec.victim_requests, 2U);
+  EXPECT_EQ(rec.tampered_received, 1U);
+  EXPECT_DOUBLE_EQ(rec.infection_rate(), 0.5);
+}
+
+TEST(GlobalManager, InfectionRateZeroWithoutRequests) {
+  GmFixture f;
+  f.gm.begin_epoch(0);
+  const auto rec = f.gm.allocate_and_reply();
+  EXPECT_DOUBLE_EQ(rec.infection_rate(), 0.0);
+}
+
+TEST(GlobalManager, MeanInfectionSkipsWarmup) {
+  GmFixture f;
+  // Epoch 1: fully infected. Epoch 2: clean.
+  f.gm.begin_epoch(0);
+  f.gm.on_power_request(f.request(1, 1000, true));
+  (void)f.gm.allocate_and_reply();
+  f.gm.begin_epoch(100);
+  f.gm.on_power_request(f.request(1, 1000, false));
+  (void)f.gm.allocate_and_reply();
+  EXPECT_DOUBLE_EQ(f.gm.mean_infection_rate(0), 0.5);
+  EXPECT_DOUBLE_EQ(f.gm.mean_infection_rate(1), 0.0);
+}
+
+TEST(GlobalManager, TamperedRequestsShiftAllocation) {
+  // End-to-end over the allocator: the victim's shrunken request directly
+  // reduces its grant, the attacker's inflated one raises its own.
+  GmFixture f;
+  std::map<NodeId, std::uint32_t> grants;
+  for (NodeId n = 0; n < 16; ++n) {
+    f.net.set_handler(n, [&grants, n](const noc::Packet& pkt) {
+      if (pkt.type == noc::PacketType::kPowerGrant) grants[n] = pkt.payload;
+    });
+  }
+  f.gm.begin_epoch(0);
+  f.gm.on_power_request(f.request(1, 250, true));    // victim, was 2000
+  f.gm.on_power_request(f.request(2, 2000, false));  // bystander
+  f.gm.on_power_request(f.request(3, 8000, false));  // attacker, was 2000
+  (void)f.gm.allocate_and_reply();
+  f.engine.run_cycles(60);
+  ASSERT_EQ(grants.size(), 3U);
+  EXPECT_LT(grants[1], grants[2]);
+  EXPECT_GT(grants[3], grants[2]);
+}
+
+}  // namespace
+}  // namespace htpb::power

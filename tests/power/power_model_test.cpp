@@ -1,0 +1,63 @@
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cpu/frequency.hpp"
+
+namespace htpb::power {
+namespace {
+
+TEST(CorePowerModel, PowerMonotoneInLevel) {
+  const cpu::FrequencyTable freqs;
+  const CorePowerModel model;
+  for (int i = 1; i < freqs.num_levels(); ++i) {
+    EXPECT_GT(model.milliwatts_at(freqs, i), model.milliwatts_at(freqs, i - 1));
+  }
+}
+
+TEST(CorePowerModel, DynamicPowerScalesWithVSquaredF) {
+  const CorePowerModel model(0.0, 1.0);  // no leakage, Ceff = 1
+  const double p1 = model.watts(cpu::FreqLevel{1.0, 1.0});
+  const double p2 = model.watts(cpu::FreqLevel{2.0, 1.0});
+  EXPECT_DOUBLE_EQ(p2, 2.0 * p1);  // linear in f
+  const double p3 = model.watts(cpu::FreqLevel{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(p3, 4.0 * p1);  // quadratic in V
+}
+
+TEST(CorePowerModel, LeakageScalesWithVoltage) {
+  const CorePowerModel model(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(model.watts(cpu::FreqLevel{1.0, 0.8}), 0.8);
+  EXPECT_DOUBLE_EQ(model.watts(cpu::FreqLevel{2.75, 0.8}), 0.8);
+}
+
+TEST(CorePowerModel, MaxLevelWithinBudget) {
+  const cpu::FrequencyTable freqs;
+  const CorePowerModel model;
+  // A huge budget buys the top level.
+  EXPECT_EQ(model.max_level_within(freqs, 1'000'000), freqs.max_level());
+  // A zero budget still returns the lowest level (never power-gated).
+  EXPECT_EQ(model.max_level_within(freqs, 0), freqs.min_level());
+  // Exactly the power of level 3 buys level 3.
+  const std::uint32_t p3 = model.milliwatts_at(freqs, 3);
+  EXPECT_EQ(model.max_level_within(freqs, p3), 3);
+  EXPECT_EQ(model.max_level_within(freqs, p3 - 1), 2);
+}
+
+TEST(CorePowerModel, MilliwattRounding) {
+  const CorePowerModel model(0.0, 1.0);
+  // 0.5 W exactly -> 500 mW.
+  EXPECT_EQ(model.milliwatts(cpu::FreqLevel{0.5, 1.0}), 500U);
+}
+
+TEST(CorePowerModel, DefaultRangeIsPlausible) {
+  const cpu::FrequencyTable freqs;
+  const CorePowerModel model;
+  const auto lo = model.milliwatts_at(freqs, 0);
+  const auto hi = model.milliwatts_at(freqs, freqs.max_level());
+  EXPECT_GT(lo, 100U);     // not absurdly small
+  EXPECT_LT(hi, 10'000U);  // not absurdly large
+  EXPECT_GT(hi, 3 * lo);   // a meaningful dynamic range for the attack
+}
+
+}  // namespace
+}  // namespace htpb::power

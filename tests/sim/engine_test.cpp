@@ -1,0 +1,112 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace htpb::sim {
+namespace {
+
+class CountingTickable final : public Tickable {
+ public:
+  void tick(Cycle now) override {
+    ++ticks;
+    last = now;
+  }
+  int ticks = 0;
+  Cycle last = 0;
+};
+
+TEST(Engine, StartsAtCycleZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0U);
+}
+
+TEST(Engine, TickablesTickedOncePerCycle) {
+  Engine e;
+  CountingTickable t;
+  e.add_tickable(&t);
+  e.run_cycles(10);
+  EXPECT_EQ(t.ticks, 10);
+  EXPECT_EQ(t.last, 9U);
+  EXPECT_EQ(e.now(), 10U);
+}
+
+TEST(Engine, EventsRunBeforeTicksInSameCycle) {
+  Engine e;
+  std::vector<int> order;
+  class Recorder final : public Tickable {
+   public:
+    explicit Recorder(std::vector<int>& o) : order_(o) {}
+    void tick(Cycle) override { order_.push_back(2); }
+
+   private:
+    std::vector<int>& order_;
+  };
+  Recorder r(order);
+  e.add_tickable(&r);
+  e.schedule_in(0, [&] { order.push_back(1); });
+  e.run_cycles(1);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, ScheduleInDelaysCorrectly) {
+  Engine e;
+  Cycle fired_at = kCycleMax;
+  e.schedule_in(5, [&] { fired_at = e.now(); });
+  e.run_cycles(10);
+  EXPECT_EQ(fired_at, 5U);
+}
+
+TEST(Engine, ScheduleAtPastClampsToNow) {
+  Engine e;
+  e.run_cycles(5);
+  Cycle fired_at = kCycleMax;
+  e.schedule_at(2, [&] { fired_at = e.now(); });
+  e.run_cycles(2);
+  EXPECT_EQ(fired_at, 5U);
+}
+
+TEST(Engine, RunUntilInclusive) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(7, [&] { ++fired; });
+  e.run_until(7);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 8U);
+}
+
+TEST(Engine, ChainedEventsAcrossCycles) {
+  Engine e;
+  std::vector<Cycle> fires;
+  std::function<void()> chain = [&] {
+    fires.push_back(e.now());
+    if (fires.size() < 4) e.schedule_in(3, chain);
+  };
+  e.schedule_in(1, chain);
+  e.run_cycles(20);
+  EXPECT_EQ(fires, (std::vector<Cycle>{1, 4, 7, 10}));
+}
+
+TEST(Engine, MultipleTickablesTickInRegistrationOrder) {
+  Engine e;
+  std::vector<int> order;
+  class Tagger final : public Tickable {
+   public:
+    Tagger(std::vector<int>& o, int tag) : order_(o), tag_(tag) {}
+    void tick(Cycle) override { order_.push_back(tag_); }
+
+   private:
+    std::vector<int>& order_;
+    int tag_;
+  };
+  Tagger a(order, 1);
+  Tagger b(order, 2);
+  e.add_tickable(&a);
+  e.add_tickable(&b);
+  e.run_cycles(2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
+}  // namespace
+}  // namespace htpb::sim

@@ -1,0 +1,70 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace htpb::sim {
+namespace {
+
+TEST(EventQueue, EmptyByDefault) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0U);
+  EXPECT_EQ(q.next_time(), kCycleMax);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreakAtSameTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunAllAtExecutesDueEventsOnly) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule(1, [&] { ++ran; });
+  q.schedule(2, [&] { ++ran; });
+  q.schedule(3, [&] { ++ran; });
+  EXPECT_EQ(q.run_all_at(2), 2U);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.size(), 1U);
+  EXPECT_EQ(q.next_time(), 3U);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1, [&] {
+    order.push_back(1);
+    q.schedule(1, [&] { order.push_back(2); });  // same timestamp, runs after
+  });
+  EXPECT_EQ(q.run_all_at(1), 2U);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule(1, [&] { ++ran; });
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(ran, 0);
+}
+
+}  // namespace
+}  // namespace htpb::sim
