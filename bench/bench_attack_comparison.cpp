@@ -4,8 +4,12 @@
 #include <cstdio>
 #include <memory>
 
+#include <array>
+#include <utility>
+
 #include "bench_util.hpp"
 #include "core/flooding.hpp"
+#include "core/parallel_sweep.hpp"
 #include "core/placement.hpp"
 #include "system/manycore_system.hpp"
 
@@ -85,20 +89,30 @@ int main() {
               "utilization counters)\n");
 
   // ---- arm 4: duty-cycled activation sweep ------------------------------
+  // The four toggle periods are independent campaigns: fan them across the
+  // ParallelSweepRunner pool (each task owns its campaign, so the printed
+  // rows are identical at any thread count) and print in period order.
   std::printf("\nduty-cycled activation (ON/OFF every N epochs, mix-1):\n");
   std::printf("%-22s %10s %10s\n", "toggle period", "infection", "Q");
-  for (const int period : {0, 4, 2, 1}) {
-    core::CampaignConfig duty_cfg = bench::mix_campaign_config(0, 64);
-    duty_cfg.system.epoch_cycles = 2000;
-    duty_cfg.warmup_epochs = 0;
-    duty_cfg.measure_epochs = 8;
-    duty_cfg.toggle_period_epochs = period;
-    core::AttackCampaign duty(duty_cfg);
-    const auto out = duty.run(hts);
+  const std::array<int, 4> periods = {0, 4, 2, 1};
+  const core::ParallelSweepRunner runner;
+  const auto duty_outs =
+      runner.map(periods.size(), [&](std::size_t i) {
+        core::CampaignConfig duty_cfg = bench::mix_campaign_config(0, 64);
+        duty_cfg.system.epoch_cycles = 2000;
+        duty_cfg.warmup_epochs = 0;
+        duty_cfg.measure_epochs = 8;
+        duty_cfg.toggle_period_epochs = periods[i];
+        core::AttackCampaign duty(duty_cfg);
+        const auto out = duty.run(hts);
+        return std::pair<double, double>(out.infection_measured, out.q);
+      });
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const int period = periods[i];
     std::printf("%-22s %10.3f %10.3f\n",
                 period == 0 ? "always on" :
                 (std::string("every ") + std::to_string(period) + " epochs").c_str(),
-                out.infection_measured, out.q);
+                duty_outs[i].first, duty_outs[i].second);
   }
   std::printf("(shorter exposure halves the infection rate and the attack "
               "effect follows --\nthe attacker's stealth/damage dial from "

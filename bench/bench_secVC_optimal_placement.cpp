@@ -5,6 +5,10 @@
 //
 // Paper: optimal placement beats random by ~30% for mixes 1-3 and up to
 // ~110% for mix-4.
+//
+// All campaign evaluations fan out through ParallelSweepRunner
+// (HTPB_THREADS caps the pool); placements are generated up front from a
+// single Rng, so the printed numbers are identical at any thread count.
 #include <cstdio>
 #include <vector>
 
@@ -13,6 +17,7 @@
 #include "core/attack_model.hpp"
 #include "core/campaign.hpp"
 #include "core/optimizer.hpp"
+#include "core/parallel_sweep.hpp"
 #include "core/placement.hpp"
 
 int main() {
@@ -28,6 +33,10 @@ int main() {
   const int max_hts = 16;
   const int train_samples = bench::quick_mode() ? 10 : 24;
   const int random_trials = bench::quick_mode() ? 2 : 4;
+  const core::ParallelSweepRunner runner;
+  // stderr, so stdout stays byte-identical at any HTPB_THREADS setting.
+  std::fprintf(stderr, "(campaign sweeps on %d thread%s)\n", runner.threads(),
+               runner.threads() == 1 ? "" : "s");
 
   std::printf("%-7s %9s %9s %9s %8s | %11s %9s\n", "mix", "Q(random)",
               "Q(model)", "Q(run)", "gain", "model R^2", "pred Q");
@@ -37,15 +46,22 @@ int main() {
     const MeshGeometry geom(cfg.system.width, cfg.system.height);
     Rng rng(7 + static_cast<std::uint64_t>(mix));
 
-    // Phase 1: sample diverse placements and record (rho, eta, m, Q).
+    // Phase 1: sample diverse placements (serially, from one stream) and
+    // evaluate them across the pool to record (rho, eta, m, Q).
+    std::vector<core::Placement> train;
+    train.reserve(static_cast<std::size_t>(train_samples));
+    for (int i = 0; i < train_samples; ++i) {
+      const int m = 1 + static_cast<int>(rng.below(max_hts));
+      train.push_back(core::candidate_placements(geom, campaign.gm_node(),
+                                                 m, 1, rng)
+                          .front());
+    }
+    const auto train_outs = runner.run_placements(campaign, train);
+
     std::vector<core::AttackSample> samples;
     std::vector<double> phi_victims;
     std::vector<double> phi_attackers;
-    for (int i = 0; i < train_samples; ++i) {
-      const int m = 1 + static_cast<int>(rng.below(max_hts));
-      const auto cands = core::candidate_placements(geom, campaign.gm_node(),
-                                                    m, 1, rng);
-      const auto out = campaign.run(cands.front().nodes);
+    for (const auto& out : train_outs) {
       core::AttackSample s;
       s.rho = out.geometry.rho;
       s.eta = out.geometry.eta;
@@ -61,33 +77,40 @@ int main() {
       samples.push_back(std::move(s));
     }
 
-    // Phase 2: fit Eq. 9 and enumerate (Eq. 10-11).
+    // Phase 2: fit Eq. 9 and enumerate (Eq. 10-11) across the pool.
     core::AttackEffectModel model;
     model.fit(samples);
     core::PlacementOptimizer optimizer(geom, campaign.gm_node(), &model,
                                        phi_victims, phi_attackers);
     // The attacker validates the model's short list in simulation before
     // committing; the best realized candidate is the deployed placement.
-    const auto shortlist = optimizer.optimize_top_k(max_hts, 60, 3, rng);
-    core::CampaignOutcome optimized = campaign.run(shortlist[0].placement.nodes);
-    double predicted_q = shortlist[0].predicted_q;
-    for (std::size_t c = 1; c < shortlist.size(); ++c) {
-      const auto alt = campaign.run(shortlist[c].placement.nodes);
-      if (alt.q > optimized.q) {
-        optimized = alt;
-        predicted_q = shortlist[c].predicted_q;
-      }
+    const auto shortlist =
+        optimizer.optimize_top_k(max_hts, 60, 3, rng(), runner);
+    std::vector<core::Placement> short_placements;
+    for (const auto& r : shortlist) short_placements.push_back(r.placement);
+    const auto realized = runner.run_placements(campaign, short_placements);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < realized.size(); ++c) {
+      if (realized[c].q > realized[best].q) best = c;
+    }
+    // Q(model): realized Q of the model's top-scored candidate.
+    // Q(run): realized Q of the deployed (best-validated) candidate.
+    const core::CampaignOutcome& optimized = realized[best];
+    const double predicted_q = shortlist[best].predicted_q;
+
+    std::vector<std::vector<NodeId>> random_sets;
+    for (int t = 0; t < random_trials; ++t) {
+      random_sets.push_back(
+          core::random_placement(geom, max_hts, rng, campaign.gm_node()));
     }
     double q_random = 0.0;
-    for (int t = 0; t < random_trials; ++t) {
-      const auto nodes16 =
-          core::random_placement(geom, max_hts, rng, campaign.gm_node());
-      q_random += campaign.run(nodes16).q;
+    for (const auto& out : runner.run_node_sets(campaign, random_sets)) {
+      q_random += out.q;
     }
     q_random /= random_trials;
 
     std::printf("%-7s %9.3f %9.3f %9.3f %7.1f%% | %11.3f %9.3f\n",
-                cfg.mix->name.c_str(), q_random, optimized.q, optimized.q,
+                cfg.mix->name.c_str(), q_random, realized[0].q, optimized.q,
                 (optimized.q / q_random - 1.0) * 100.0, model.r2(),
                 predicted_q);
   }

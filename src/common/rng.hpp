@@ -11,6 +11,15 @@
 
 namespace htpb {
 
+/// SplitMix64 finalizer (Steele, Lea & Flood). Bijective 64-bit mixing:
+/// used to expand seeds into generator state and to derive independent
+/// per-index streams (ParallelSweepRunner::stream_rng).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 /// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
 /// seeded through SplitMix64 so that any 64-bit seed yields a good state.
 class Rng {
@@ -22,12 +31,8 @@ class Rng {
   void reseed(std::uint64_t seed) {
     std::uint64_t x = seed;
     for (auto& word : state_) {
-      // SplitMix64 step.
       x += 0x9E3779B97F4A7C15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-      word = z ^ (z >> 31);
+      word = splitmix64(x);
     }
   }
 

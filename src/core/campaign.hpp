@@ -87,6 +87,12 @@ class AttackCampaign {
   /// Baseline per-app sensitivities Phi (computed with the baseline run).
   [[nodiscard]] const std::vector<double>& baseline_phi();
 
+  /// Runs (or reuses) the Trojan-free baseline now. Campaigns are
+  /// copyable; priming before cloning one per sweep worker means every
+  /// clone inherits the cached baseline instead of re-running it
+  /// (ParallelSweepRunner relies on this).
+  void prime_baseline() { ensure_baseline(); }
+
  private:
   struct RunResult {
     std::vector<double> theta;  // per app

@@ -18,6 +18,8 @@
 
 namespace htpb::core {
 
+class ParallelSweepRunner;
+
 struct OptimizerResult {
   Placement placement;
   double predicted_q = 0.0;
@@ -46,6 +48,15 @@ class PlacementOptimizer {
   /// simulation before committing fab resources.
   [[nodiscard]] std::vector<OptimizerResult> optimize_top_k(
       int max_hts, int candidates_per_m, int k, Rng& rng) const;
+
+  /// Parallel enumeration: the per-m candidate batches are fanned across
+  /// `runner`'s thread pool, each drawing from its own
+  /// `ParallelSweepRunner::stream_rng(seed, m - 1)` stream, so the result
+  /// is bit-identical at any thread count (but differs from the serial
+  /// shared-Rng overload above, which consumes one sequential stream).
+  [[nodiscard]] std::vector<OptimizerResult> optimize_top_k(
+      int max_hts, int candidates_per_m, int k, std::uint64_t seed,
+      const ParallelSweepRunner& runner) const;
 
   /// Scores one placement with the model.
   [[nodiscard]] double score(const Placement& p) const;

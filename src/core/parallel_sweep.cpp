@@ -1,0 +1,64 @@
+#include "core/parallel_sweep.hpp"
+
+#include <cstdlib>
+
+namespace htpb::core {
+
+ParallelSweepRunner::ParallelSweepRunner(int threads)
+    : threads_(threads > 0 ? threads : default_threads()) {}
+
+int ParallelSweepRunner::default_threads() {
+  if (const char* env = std::getenv("HTPB_THREADS")) {
+    // Clamp, as documented: a set-but-unusable value (0, negative,
+    // non-numeric, overflowing) means a serial run, not silent fallback
+    // to all cores. strtol saturates instead of the UB atoi has.
+    const long n = std::strtol(env, nullptr, 10);
+    return static_cast<int>(std::clamp(n, 1L, 4096L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+Rng ParallelSweepRunner::stream_rng(std::uint64_t seed, std::size_t index) {
+  // SplitMix64 of the index, folded into the base seed. The Rng
+  // constructor runs SplitMix64 again over the combined value, so nearby
+  // indices still yield well-separated xoshiro states.
+  return Rng(seed ^ splitmix64(static_cast<std::uint64_t>(index) +
+                               0x9E3779B97F4A7C15ULL));
+}
+
+std::vector<CampaignOutcome> ParallelSweepRunner::run_placements(
+    const CampaignConfig& cfg, std::span<const Placement> placements) const {
+  AttackCampaign master(cfg);
+  return run_placements(master, placements);
+}
+
+std::vector<CampaignOutcome> ParallelSweepRunner::run_placements(
+    AttackCampaign& master, std::span<const Placement> placements) const {
+  std::vector<std::vector<NodeId>> node_sets;
+  node_sets.reserve(placements.size());
+  for (const Placement& p : placements) node_sets.push_back(p.nodes);
+  return run_node_sets(master, node_sets);
+}
+
+std::vector<CampaignOutcome> ParallelSweepRunner::run_node_sets(
+    const CampaignConfig& cfg,
+    std::span<const std::vector<NodeId>> node_sets) const {
+  AttackCampaign master(cfg);
+  return run_node_sets(master, node_sets);
+}
+
+std::vector<CampaignOutcome> ParallelSweepRunner::run_node_sets(
+    AttackCampaign& master,
+    std::span<const std::vector<NodeId>> node_sets) const {
+  master.prime_baseline();
+  const ParallelSweepRunner serial(1);
+  const ParallelSweepRunner& pool =
+      master.config().detector != nullptr ? serial : *this;
+  return pool.map(node_sets.size(), [&](std::size_t i) {
+    AttackCampaign clone(master);
+    return clone.run(node_sets[i]);
+  });
+}
+
+}  // namespace htpb::core

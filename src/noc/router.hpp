@@ -23,13 +23,17 @@
 
 namespace htpb::noc {
 
+/// Per-router utilization counters -- what an on-chip traffic diagnostic
+/// would see. The paper's false-data attack leaves every one of these
+/// unchanged relative to a clean run (it rewrites payloads in flight),
+/// which is why the comparison benches print them.
 struct RouterStats {
-  std::uint64_t flits_forwarded = 0;
-  std::uint64_t packets_routed = 0;
-  std::uint64_t power_requests_seen = 0;
-  std::uint64_t flits_ejected = 0;
-  std::uint64_t sa_conflict_stalls = 0;
-  std::uint64_t va_stalls = 0;
+  std::uint64_t flits_forwarded = 0;      ///< flits sent out any non-local port
+  std::uint64_t packets_routed = 0;       ///< head flits that completed RC
+  std::uint64_t power_requests_seen = 0;  ///< POWER_REQ heads inspected
+  std::uint64_t flits_ejected = 0;        ///< flits delivered to the local NI
+  std::uint64_t sa_conflict_stalls = 0;   ///< switch-allocation losses
+  std::uint64_t va_stalls = 0;            ///< head flits waiting for an output VC
 };
 
 /// A flit leaving a router this cycle, to be applied by the network after
@@ -49,6 +53,9 @@ struct CreditReturn {
   int vc = 0;
 };
 
+/// One mesh router. The network ticks every router's SA/ST stage, applies
+/// the produced link transfers and credits, then ticks every RC/VA stage
+/// -- a two-phase update, so the result is independent of router order.
 class Router {
  public:
   Router(NodeId id, const MeshGeometry& geom, const NocConfig& cfg,
@@ -96,6 +103,9 @@ class Router {
     return buffered_flits_;
   }
 
+  /// Attaches a packet inspector between buffer-write and route compute
+  /// (Fig. 2b) -- the hook the hardware Trojan implants through. Not
+  /// owned; inspectors run in attachment order on whole packets.
   void add_inspector(PacketInspector* inspector) {
     inspectors_.push_back(inspector);
   }

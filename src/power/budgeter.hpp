@@ -19,6 +19,9 @@
 
 namespace htpb::power {
 
+/// One core's POWER_REQ as it reached the manager. The manager cannot
+/// distinguish an honest request from one rewritten in flight by an
+/// in-router Trojan -- that asymmetry is the paper's attack surface.
 struct BudgetRequest {
   NodeId node = kInvalidNode;
   AppId app = kInvalidApp;
@@ -27,11 +30,15 @@ struct BudgetRequest {
   std::uint32_t request_mw = 0;
 };
 
+/// The manager's answer, sent back as a POWER_GRANT: the power cap the
+/// core must run under until the next epoch.
 struct BudgetGrant {
   NodeId node = kInvalidNode;
   std::uint32_t grant_mw = 0;
 };
 
+/// Selector for `make_budgeter`; one value per allocator family cited in
+/// the header comment above.
 enum class BudgeterKind {
   kUniform,
   kGreedy,
@@ -40,6 +47,9 @@ enum class BudgeterKind {
   kMarket,
 };
 
+/// Interface of a power-budgeting algorithm. Implementations are
+/// stateless and epoch-free: the global manager calls `allocate` once per
+/// epoch with the requests it collected, applies the grants, and forgets.
 class Budgeter {
  public:
   virtual ~Budgeter() = default;
@@ -116,7 +126,9 @@ class MarketBudgeter final : public Budgeter {
   [[nodiscard]] const char* name() const noexcept override { return "market"; }
 };
 
+/// Factory over every allocator above (the ablation bench sweeps it).
 [[nodiscard]] std::unique_ptr<Budgeter> make_budgeter(BudgeterKind kind);
+/// Stable short name for reports and bench tables (matches `name()`).
 [[nodiscard]] const char* to_string(BudgeterKind kind) noexcept;
 
 }  // namespace htpb::power

@@ -19,8 +19,14 @@ class Tickable {
   virtual void tick(Cycle now) = 0;
 };
 
+/// Owns simulated time. Each cycle first drains the events due at the
+/// current time, then ticks every registered component; nothing else
+/// advances the clock, so a run is a pure function of the initial state
+/// and the schedule (the determinism the sweep runner and the paper's
+/// reproducibility claims rest on).
 class Engine {
  public:
+  /// Current simulated cycle (the cycle being executed during a tick).
   [[nodiscard]] Cycle now() const noexcept { return now_; }
 
   /// Registers a clocked component. Not owned; caller keeps it alive for
@@ -32,6 +38,8 @@ class Engine {
     events_.schedule(now_ + delay, std::move(fn));
   }
 
+  /// Schedules `fn` at absolute cycle `when`; times already in the past
+  /// are clamped to the current cycle (the event still runs, late).
   void schedule_at(Cycle when, EventFn fn) {
     events_.schedule(when < now_ ? now_ : when, std::move(fn));
   }
@@ -43,6 +51,7 @@ class Engine {
   /// Advances until `when` (inclusive of events at `when`).
   void run_until(Cycle when);
 
+  /// Events scheduled but not yet executed (observability / test hook).
   [[nodiscard]] std::size_t pending_events() const noexcept {
     return events_.size();
   }
