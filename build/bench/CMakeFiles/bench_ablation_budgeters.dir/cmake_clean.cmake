@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_budgeters.dir/bench_ablation_budgeters.cpp.o"
+  "CMakeFiles/bench_ablation_budgeters.dir/bench_ablation_budgeters.cpp.o.d"
+  "bench_ablation_budgeters"
+  "bench_ablation_budgeters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_budgeters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

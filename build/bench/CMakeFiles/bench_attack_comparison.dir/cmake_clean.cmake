@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_comparison.dir/bench_attack_comparison.cpp.o"
+  "CMakeFiles/bench_attack_comparison.dir/bench_attack_comparison.cpp.o.d"
+  "bench_attack_comparison"
+  "bench_attack_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

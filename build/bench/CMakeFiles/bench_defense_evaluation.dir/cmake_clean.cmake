@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_defense_evaluation.dir/bench_defense_evaluation.cpp.o"
+  "CMakeFiles/bench_defense_evaluation.dir/bench_defense_evaluation.cpp.o.d"
+  "bench_defense_evaluation"
+  "bench_defense_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_defense_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

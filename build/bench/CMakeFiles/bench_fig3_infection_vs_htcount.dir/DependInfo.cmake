@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_infection_vs_htcount.cpp" "bench/CMakeFiles/bench_fig3_infection_vs_htcount.dir/bench_fig3_infection_vs_htcount.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_infection_vs_htcount.dir/bench_fig3_infection_vs_htcount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/htpb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/htpb_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/htpb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/htpb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/htpb_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/htpb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/htpb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/htpb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/htpb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

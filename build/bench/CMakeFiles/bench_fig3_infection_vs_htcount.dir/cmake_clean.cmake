@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_infection_vs_htcount.dir/bench_fig3_infection_vs_htcount.cpp.o"
+  "CMakeFiles/bench_fig3_infection_vs_htcount.dir/bench_fig3_infection_vs_htcount.cpp.o.d"
+  "bench_fig3_infection_vs_htcount"
+  "bench_fig3_infection_vs_htcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_infection_vs_htcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

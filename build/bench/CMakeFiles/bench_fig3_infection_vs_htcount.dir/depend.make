@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_infection_vs_htcount.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_attack_effect.dir/bench_fig5_attack_effect.cpp.o"
+  "CMakeFiles/bench_fig5_attack_effect.dir/bench_fig5_attack_effect.cpp.o.d"
+  "bench_fig5_attack_effect"
+  "bench_fig5_attack_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_attack_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_performance_change.dir/bench_fig6_performance_change.cpp.o"
+  "CMakeFiles/bench_fig6_performance_change.dir/bench_fig6_performance_change.cpp.o.d"
+  "bench_fig6_performance_change"
+  "bench_fig6_performance_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_performance_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secIIID_area_power.dir/bench_secIIID_area_power.cpp.o"
+  "CMakeFiles/bench_secIIID_area_power.dir/bench_secIIID_area_power.cpp.o.d"
+  "bench_secIIID_area_power"
+  "bench_secIIID_area_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secIIID_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

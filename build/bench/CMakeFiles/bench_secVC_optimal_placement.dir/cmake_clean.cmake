@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secVC_optimal_placement.dir/bench_secVC_optimal_placement.cpp.o"
+  "CMakeFiles/bench_secVC_optimal_placement.dir/bench_secVC_optimal_placement.cpp.o.d"
+  "bench_secVC_optimal_placement"
+  "bench_secVC_optimal_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secVC_optimal_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

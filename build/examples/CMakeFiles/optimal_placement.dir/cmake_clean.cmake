@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_placement.dir/optimal_placement.cpp.o"
+  "CMakeFiles/optimal_placement.dir/optimal_placement.cpp.o.d"
+  "optimal_placement"
+  "optimal_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

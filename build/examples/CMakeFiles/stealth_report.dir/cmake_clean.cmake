@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stealth_report.dir/stealth_report.cpp.o"
+  "CMakeFiles/stealth_report.dir/stealth_report.cpp.o.d"
+  "stealth_report"
+  "stealth_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stealth_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

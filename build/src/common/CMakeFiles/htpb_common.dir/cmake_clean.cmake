@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htpb_common.dir/geometry.cpp.o"
+  "CMakeFiles/htpb_common.dir/geometry.cpp.o.d"
+  "CMakeFiles/htpb_common.dir/log.cpp.o"
+  "CMakeFiles/htpb_common.dir/log.cpp.o.d"
+  "CMakeFiles/htpb_common.dir/matrix.cpp.o"
+  "CMakeFiles/htpb_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/htpb_common.dir/rng.cpp.o"
+  "CMakeFiles/htpb_common.dir/rng.cpp.o.d"
+  "CMakeFiles/htpb_common.dir/stats.cpp.o"
+  "CMakeFiles/htpb_common.dir/stats.cpp.o.d"
+  "libhtpb_common.a"
+  "libhtpb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htpb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attack_model.cpp" "src/core/CMakeFiles/htpb_core.dir/attack_model.cpp.o" "gcc" "src/core/CMakeFiles/htpb_core.dir/attack_model.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/htpb_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/htpb_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/flooding.cpp" "src/core/CMakeFiles/htpb_core.dir/flooding.cpp.o" "gcc" "src/core/CMakeFiles/htpb_core.dir/flooding.cpp.o.d"
+  "/root/repo/src/core/infection.cpp" "src/core/CMakeFiles/htpb_core.dir/infection.cpp.o" "gcc" "src/core/CMakeFiles/htpb_core.dir/infection.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/htpb_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/htpb_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/htpb_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/htpb_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/parallel_sweep.cpp" "src/core/CMakeFiles/htpb_core.dir/parallel_sweep.cpp.o" "gcc" "src/core/CMakeFiles/htpb_core.dir/parallel_sweep.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/htpb_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/htpb_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/trojan.cpp" "src/core/CMakeFiles/htpb_core.dir/trojan.cpp.o" "gcc" "src/core/CMakeFiles/htpb_core.dir/trojan.cpp.o.d"
+  "/root/repo/src/core/trojan_config.cpp" "src/core/CMakeFiles/htpb_core.dir/trojan_config.cpp.o" "gcc" "src/core/CMakeFiles/htpb_core.dir/trojan_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/htpb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/htpb_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/htpb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/htpb_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/htpb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/htpb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/htpb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/htpb_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htpb_core.dir/attack_model.cpp.o"
+  "CMakeFiles/htpb_core.dir/attack_model.cpp.o.d"
+  "CMakeFiles/htpb_core.dir/campaign.cpp.o"
+  "CMakeFiles/htpb_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/htpb_core.dir/flooding.cpp.o"
+  "CMakeFiles/htpb_core.dir/flooding.cpp.o.d"
+  "CMakeFiles/htpb_core.dir/infection.cpp.o"
+  "CMakeFiles/htpb_core.dir/infection.cpp.o.d"
+  "CMakeFiles/htpb_core.dir/metrics.cpp.o"
+  "CMakeFiles/htpb_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/htpb_core.dir/optimizer.cpp.o"
+  "CMakeFiles/htpb_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/htpb_core.dir/parallel_sweep.cpp.o"
+  "CMakeFiles/htpb_core.dir/parallel_sweep.cpp.o.d"
+  "CMakeFiles/htpb_core.dir/placement.cpp.o"
+  "CMakeFiles/htpb_core.dir/placement.cpp.o.d"
+  "CMakeFiles/htpb_core.dir/trojan.cpp.o"
+  "CMakeFiles/htpb_core.dir/trojan.cpp.o.d"
+  "CMakeFiles/htpb_core.dir/trojan_config.cpp.o"
+  "CMakeFiles/htpb_core.dir/trojan_config.cpp.o.d"
+  "libhtpb_core.a"
+  "libhtpb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htpb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

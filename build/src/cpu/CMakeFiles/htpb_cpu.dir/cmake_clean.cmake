@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htpb_cpu.dir/core_model.cpp.o"
+  "CMakeFiles/htpb_cpu.dir/core_model.cpp.o.d"
+  "libhtpb_cpu.a"
+  "libhtpb_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htpb_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htpb_mem.dir/l1_cache.cpp.o"
+  "CMakeFiles/htpb_mem.dir/l1_cache.cpp.o.d"
+  "CMakeFiles/htpb_mem.dir/l2_bank.cpp.o"
+  "CMakeFiles/htpb_mem.dir/l2_bank.cpp.o.d"
+  "libhtpb_mem.a"
+  "libhtpb_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htpb_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

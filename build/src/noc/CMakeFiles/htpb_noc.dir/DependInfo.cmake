@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/htpb_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/htpb_noc.dir/network.cpp.o.d"
+  "/root/repo/src/noc/network_interface.cpp" "src/noc/CMakeFiles/htpb_noc.dir/network_interface.cpp.o" "gcc" "src/noc/CMakeFiles/htpb_noc.dir/network_interface.cpp.o.d"
+  "/root/repo/src/noc/packet.cpp" "src/noc/CMakeFiles/htpb_noc.dir/packet.cpp.o" "gcc" "src/noc/CMakeFiles/htpb_noc.dir/packet.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/noc/CMakeFiles/htpb_noc.dir/router.cpp.o" "gcc" "src/noc/CMakeFiles/htpb_noc.dir/router.cpp.o.d"
+  "/root/repo/src/noc/routing.cpp" "src/noc/CMakeFiles/htpb_noc.dir/routing.cpp.o" "gcc" "src/noc/CMakeFiles/htpb_noc.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/htpb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/htpb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

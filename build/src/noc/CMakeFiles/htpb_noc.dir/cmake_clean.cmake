@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htpb_noc.dir/network.cpp.o"
+  "CMakeFiles/htpb_noc.dir/network.cpp.o.d"
+  "CMakeFiles/htpb_noc.dir/network_interface.cpp.o"
+  "CMakeFiles/htpb_noc.dir/network_interface.cpp.o.d"
+  "CMakeFiles/htpb_noc.dir/packet.cpp.o"
+  "CMakeFiles/htpb_noc.dir/packet.cpp.o.d"
+  "CMakeFiles/htpb_noc.dir/router.cpp.o"
+  "CMakeFiles/htpb_noc.dir/router.cpp.o.d"
+  "CMakeFiles/htpb_noc.dir/routing.cpp.o"
+  "CMakeFiles/htpb_noc.dir/routing.cpp.o.d"
+  "libhtpb_noc.a"
+  "libhtpb_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htpb_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/budgeter.cpp" "src/power/CMakeFiles/htpb_power.dir/budgeter.cpp.o" "gcc" "src/power/CMakeFiles/htpb_power.dir/budgeter.cpp.o.d"
+  "/root/repo/src/power/defense.cpp" "src/power/CMakeFiles/htpb_power.dir/defense.cpp.o" "gcc" "src/power/CMakeFiles/htpb_power.dir/defense.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/htpb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/htpb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/htpb_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/htpb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

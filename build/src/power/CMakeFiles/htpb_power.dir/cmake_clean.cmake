@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htpb_power.dir/budgeter.cpp.o"
+  "CMakeFiles/htpb_power.dir/budgeter.cpp.o.d"
+  "CMakeFiles/htpb_power.dir/defense.cpp.o"
+  "CMakeFiles/htpb_power.dir/defense.cpp.o.d"
+  "libhtpb_power.a"
+  "libhtpb_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htpb_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

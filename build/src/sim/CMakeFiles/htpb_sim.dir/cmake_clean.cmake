@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htpb_sim.dir/engine.cpp.o"
+  "CMakeFiles/htpb_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/htpb_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/htpb_sim.dir/event_queue.cpp.o.d"
+  "libhtpb_sim.a"
+  "libhtpb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htpb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htpb_system.dir/manycore_system.cpp.o"
+  "CMakeFiles/htpb_system.dir/manycore_system.cpp.o.d"
+  "CMakeFiles/htpb_system.dir/system_config.cpp.o"
+  "CMakeFiles/htpb_system.dir/system_config.cpp.o.d"
+  "libhtpb_system.a"
+  "libhtpb_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htpb_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htpb_workload.dir/application.cpp.o"
+  "CMakeFiles/htpb_workload.dir/application.cpp.o.d"
+  "CMakeFiles/htpb_workload.dir/benchmark_profile.cpp.o"
+  "CMakeFiles/htpb_workload.dir/benchmark_profile.cpp.o.d"
+  "libhtpb_workload.a"
+  "libhtpb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htpb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_bitset_test.dir/common/bitset_test.cpp.o"
+  "CMakeFiles/common_bitset_test.dir/common/bitset_test.cpp.o.d"
+  "common_bitset_test"
+  "common_bitset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_bitset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

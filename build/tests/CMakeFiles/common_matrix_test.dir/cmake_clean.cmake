@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_matrix_test.dir/common/matrix_test.cpp.o"
+  "CMakeFiles/common_matrix_test.dir/common/matrix_test.cpp.o.d"
+  "common_matrix_test"
+  "common_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_defense_integration_test.dir/core/defense_integration_test.cpp.o"
+  "CMakeFiles/core_defense_integration_test.dir/core/defense_integration_test.cpp.o.d"
+  "core_defense_integration_test"
+  "core_defense_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_defense_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

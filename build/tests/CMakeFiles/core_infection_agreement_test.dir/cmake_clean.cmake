@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_infection_agreement_test.dir/core/infection_agreement_test.cpp.o"
+  "CMakeFiles/core_infection_agreement_test.dir/core/infection_agreement_test.cpp.o.d"
+  "core_infection_agreement_test"
+  "core_infection_agreement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_infection_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

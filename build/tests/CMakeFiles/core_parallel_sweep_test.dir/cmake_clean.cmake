@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_parallel_sweep_test.dir/core/parallel_sweep_test.cpp.o"
+  "CMakeFiles/core_parallel_sweep_test.dir/core/parallel_sweep_test.cpp.o.d"
+  "core_parallel_sweep_test"
+  "core_parallel_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_parallel_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

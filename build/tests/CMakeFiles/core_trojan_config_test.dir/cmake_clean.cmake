@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_trojan_config_test.dir/core/trojan_config_test.cpp.o"
+  "CMakeFiles/core_trojan_config_test.dir/core/trojan_config_test.cpp.o.d"
+  "core_trojan_config_test"
+  "core_trojan_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_trojan_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_frequency_test.dir/cpu/frequency_test.cpp.o"
+  "CMakeFiles/cpu_frequency_test.dir/cpu/frequency_test.cpp.o.d"
+  "cpu_frequency_test"
+  "cpu_frequency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_frequency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_ipc_model_test.dir/cpu/ipc_model_test.cpp.o"
+  "CMakeFiles/cpu_ipc_model_test.dir/cpu/ipc_model_test.cpp.o.d"
+  "cpu_ipc_model_test"
+  "cpu_ipc_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_ipc_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_coherence_property_test.dir/mem/coherence_property_test.cpp.o"
+  "CMakeFiles/mem_coherence_property_test.dir/mem/coherence_property_test.cpp.o.d"
+  "mem_coherence_property_test"
+  "mem_coherence_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_coherence_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_network_property_test.dir/noc/network_property_test.cpp.o"
+  "CMakeFiles/noc_network_property_test.dir/noc/network_property_test.cpp.o.d"
+  "noc_network_property_test"
+  "noc_network_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_network_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

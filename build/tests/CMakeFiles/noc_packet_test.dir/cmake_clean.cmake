@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_packet_test.dir/noc/packet_test.cpp.o"
+  "CMakeFiles/noc_packet_test.dir/noc/packet_test.cpp.o.d"
+  "noc_packet_test"
+  "noc_packet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_router_test.dir/noc/router_test.cpp.o"
+  "CMakeFiles/noc_router_test.dir/noc/router_test.cpp.o.d"
+  "noc_router_test"
+  "noc_router_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

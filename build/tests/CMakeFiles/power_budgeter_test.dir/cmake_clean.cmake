@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_budgeter_test.dir/power/budgeter_test.cpp.o"
+  "CMakeFiles/power_budgeter_test.dir/power/budgeter_test.cpp.o.d"
+  "power_budgeter_test"
+  "power_budgeter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_budgeter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

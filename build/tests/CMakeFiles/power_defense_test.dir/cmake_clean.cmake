@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_defense_test.dir/power/defense_test.cpp.o"
+  "CMakeFiles/power_defense_test.dir/power/defense_test.cpp.o.d"
+  "power_defense_test"
+  "power_defense_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_defense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

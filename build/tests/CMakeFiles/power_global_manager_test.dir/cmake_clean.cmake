@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_global_manager_test.dir/power/global_manager_test.cpp.o"
+  "CMakeFiles/power_global_manager_test.dir/power/global_manager_test.cpp.o.d"
+  "power_global_manager_test"
+  "power_global_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_global_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

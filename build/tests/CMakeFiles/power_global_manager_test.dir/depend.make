@@ -1,0 +1,2 @@
+# Empty dependencies file for power_global_manager_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_power_model_test.dir/power/power_model_test.cpp.o"
+  "CMakeFiles/power_power_model_test.dir/power/power_model_test.cpp.o.d"
+  "power_power_model_test"
+  "power_power_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_power_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
