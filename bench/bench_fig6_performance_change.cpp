@@ -7,6 +7,7 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "core/infection.hpp"
+#include "core/parallel_sweep.hpp"
 
 int main() {
   using namespace htpb;
@@ -22,6 +23,7 @@ int main() {
                            ? std::span<const double>(targets_quick)
                            : std::span<const double>(targets_full);
 
+  const core::ParallelSweepRunner runner;
   for (int mix = 0; mix < 4; ++mix) {
     core::AttackCampaign campaign(bench::mix_campaign_config(mix));
     const MeshGeometry geom(16, 16);
@@ -36,9 +38,15 @@ int main() {
                   app.is_attacker() ? "*" : " ");
     }
     std::printf("\n");
+    // Same serial placement stream as before; the per-target campaign
+    // simulations run across the pool.
+    std::vector<std::vector<NodeId>> node_sets;
+    node_sets.reserve(targets.size());
     for (const double target : targets) {
-      const auto hts = analyzer.placement_for_target(target, 64, rng);
-      const auto out = campaign.run(hts);
+      node_sets.push_back(analyzer.placement_for_target(target, 64, rng));
+    }
+    const auto outs = runner.run_node_sets(campaign, node_sets);
+    for (const auto& out : outs) {
       std::printf("%10.3f |", out.infection_measured);
       for (const auto& app : out.apps) std::printf(" %13.3f ", app.change);
       std::printf("\n");

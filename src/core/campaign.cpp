@@ -137,14 +137,13 @@ AttackCampaign::RunResult AttackCampaign::run_system(
 }
 
 void AttackCampaign::ensure_baseline() {
-  if (have_baseline_) return;
-  baseline_ = run_system({});
-  have_baseline_ = true;
+  if (baseline_ != nullptr) return;
+  baseline_ = std::make_shared<const RunResult>(run_system({}));
 }
 
 const std::vector<double>& AttackCampaign::baseline_phi() {
   ensure_baseline();
-  return baseline_.phi;
+  return baseline_->phi;
 }
 
 double AttackCampaign::run_infection_only(std::span<const NodeId> ht_nodes) {
@@ -184,10 +183,10 @@ CampaignOutcome AttackCampaign::run(std::span<const NodeId> ht_nodes) {
     ao.id = apps_[i].id;
     ao.name = apps_[i].profile.name;
     ao.attacker = apps_[i].is_attacker();
-    ao.theta_baseline = baseline_.theta[i];
+    ao.theta_baseline = baseline_->theta[i];
     ao.theta_attacked = attacked.theta[i];
     ao.change = performance_change(ao.theta_attacked, ao.theta_baseline);
-    ao.phi = baseline_.phi[i];
+    ao.phi = baseline_->phi[i];
     (ao.attacker ? change_attackers : change_victims).push_back(ao.change);
   }
   if (!change_attackers.empty() && !change_victims.empty()) {

@@ -89,8 +89,10 @@ class AttackCampaign {
 
   /// Runs (or reuses) the Trojan-free baseline now. Campaigns are
   /// copyable; priming before cloning one per sweep worker means every
-  /// clone inherits the cached baseline instead of re-running it
-  /// (ParallelSweepRunner relies on this).
+  /// clone *shares* the immutable cached baseline (shared_ptr, no
+  /// per-clone copy of the theta/phi vectors -- ParallelSweepRunner
+  /// clones one campaign per task, so this keeps clones O(1) in the
+  /// baseline size).
   void prime_baseline() { ensure_baseline(); }
 
  private:
@@ -108,8 +110,7 @@ class AttackCampaign {
   std::vector<workload::Application> apps_;
   NodeId gm_node_ = kInvalidNode;
   NodeId agent_node_ = 0;
-  bool have_baseline_ = false;
-  RunResult baseline_;
+  std::shared_ptr<const RunResult> baseline_;  // set once; shared by clones
 };
 
 }  // namespace htpb::core

@@ -42,26 +42,10 @@ double PlacementOptimizer::score(const Placement& p) const {
   return model_->predict(s);
 }
 
-OptimizerResult PlacementOptimizer::optimize(int max_hts,
-                                             int candidates_per_m,
-                                             Rng& rng) const {
-  return optimize_top_k(max_hts, candidates_per_m, 1, rng).front();
-}
-
-std::vector<OptimizerResult> PlacementOptimizer::optimize_top_k(
-    int max_hts, int candidates_per_m, int k, Rng& rng) const {
-  check_args(max_hts, k);
-  std::vector<OptimizerResult> all;
-  for (int m = 1; m <= max_hts; ++m) {
-    auto candidates = candidate_placements(geom_, gm_, m, candidates_per_m, rng);
-    for (auto& cand : candidates) {
-      OptimizerResult r;
-      r.predicted_q = score(cand);
-      r.placement = std::move(cand);
-      all.push_back(std::move(r));
-    }
-  }
-  return take_top_k(std::move(all), k);
+OptimizerResult PlacementOptimizer::optimize(
+    int max_hts, int candidates_per_m, std::uint64_t seed,
+    const ParallelSweepRunner& runner) const {
+  return optimize_top_k(max_hts, candidates_per_m, 1, seed, runner).front();
 }
 
 std::vector<OptimizerResult> PlacementOptimizer::optimize_top_k(

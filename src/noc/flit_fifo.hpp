@@ -1,0 +1,70 @@
+// Fixed-capacity inline ring buffer for router input-VC FIFOs.
+//
+// Table I caps VC depth at a handful of flits, so a bounded ring with
+// inline storage beats std::deque's chunked heap allocation on every axis
+// that matters here: zero allocation, contiguous slots, trivially
+// predictable head/tail arithmetic. Capacity is a compile-time power of
+// two (masked wraparound); the credit protocol keeps occupancy <= vc_depth
+// <= kCap, and push/pop assert it.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+namespace htpb::noc {
+
+template <typename T, int kCap>
+class RingFifo {
+  static_assert(kCap > 0 && (kCap & (kCap - 1)) == 0,
+                "RingFifo capacity must be a power of two");
+
+ public:
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == kCap; }
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] static constexpr int capacity() noexcept { return kCap; }
+
+  [[nodiscard]] T& front() noexcept {
+    assert(!empty());
+    return slots_[head_];
+  }
+  [[nodiscard]] const T& front() const noexcept {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  void push_back(T&& v) noexcept {
+    assert(!full());
+    slots_[(head_ + size_) & kMask] = std::move(v);
+    ++size_;
+  }
+  void push_back(const T& v) noexcept {
+    assert(!full());
+    slots_[(head_ + size_) & kMask] = v;
+    ++size_;
+  }
+
+  /// Pops the front and resets the vacated slot, so a T holding shared
+  /// resources (a flit's PacketPtr) releases them now, not at wraparound.
+  void pop_front() noexcept {
+    assert(!empty());
+    slots_[head_] = T{};
+    head_ = (head_ + 1) & kMask;
+    --size_;
+  }
+
+  void clear() noexcept {
+    while (!empty()) pop_front();
+  }
+
+ private:
+  static constexpr unsigned kMask = static_cast<unsigned>(kCap - 1);
+
+  std::array<T, kCap> slots_{};
+  unsigned head_ = 0;
+  int size_ = 0;
+};
+
+}  // namespace htpb::noc

@@ -1,5 +1,6 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -17,16 +18,27 @@ MeshNetwork::MeshNetwork(sim::Engine& engine, MeshGeometry geom, NocConfig cfg)
         std::make_unique<Router>(id, geom_, cfg_, routing_.get()));
     nis_.push_back(std::make_unique<NetworkInterface>(id, cfg_));
   }
-  // Wire up mesh connectivity: a port is connected iff the neighbour exists.
+  // Wire up mesh connectivity and the neighbour table: a port is connected
+  // iff the neighbour exists. Phases 4-5 then hop through the table
+  // instead of recomputing coord_of/step/id_of per transfer.
+  neighbour_.assign(static_cast<std::size_t>(n) * kNumPorts, -1);
   for (int i = 0; i < n; ++i) {
     const Coord c = geom_.coord_of(static_cast<NodeId>(i));
     for (const Direction d :
          {Direction::kNorth, Direction::kEast, Direction::kSouth,
           Direction::kWest}) {
-      routers_[static_cast<std::size_t>(i)]->set_port_connected(
-          d, geom_.contains(step(c, d)));
+      const Coord nb = step(c, d);
+      const bool in_mesh = geom_.contains(nb);
+      routers_[static_cast<std::size_t>(i)]->set_port_connected(d, in_mesh);
+      if (in_mesh) {
+        neighbour_[static_cast<std::size_t>(i) * kNumPorts + port_index(d)] =
+            static_cast<std::int32_t>(geom_.id_of(nb));
+      }
     }
   }
+  router_active_.assign(static_cast<std::size_t>(n), 0);
+  inject_active_.assign(static_cast<std::size_t>(n), 0);
+  eject_active_.assign(static_cast<std::size_t>(n), 0);
   engine_.add_tickable(this);
 }
 
@@ -35,7 +47,7 @@ PacketPtr MeshNetwork::make_packet(NodeId src, NodeId dst, PacketType type,
   if (!geom_.contains(src) || !geom_.contains(dst)) {
     throw std::out_of_range("make_packet: node id outside mesh");
   }
-  auto pkt = std::make_shared<Packet>();
+  PacketPtr pkt = pool_.allocate();
   pkt->id = next_packet_id_++;
   pkt->src = src;
   pkt->dst = dst;
@@ -73,7 +85,9 @@ void MeshNetwork::send(PacketPtr pkt) {
     });
     return;
   }
-  nis_[pkt->src]->enqueue(std::move(pkt));
+  const NodeId src = pkt->src;
+  nis_[src]->enqueue(std::move(pkt));
+  mark_inject_active(src);
 }
 
 void MeshNetwork::record_delivery(const Packet& pkt) {
@@ -98,42 +112,81 @@ void MeshNetwork::record_delivery(const Packet& pkt) {
 }
 
 void MeshNetwork::tick(Cycle now) {
+  // Every phase walks its active set in ascending node id -- the same
+  // order the full 0..N-1 scans used -- so handler invocations, staged
+  // transfers and therefore every floating-point stats accumulation
+  // happen in the pre-active-set order, bit for bit.
+
   // Phase 0: drain ejections (handlers may enqueue replies this cycle).
-  for (std::size_t i = 0; i < nis_.size(); ++i) {
+  // The sets stay sorted across compactions; appends from last cycle sit
+  // at the tail, so most cycles the is_sorted probe replaces the sort.
+  if (!std::is_sorted(active_eject_.begin(), active_eject_.end())) {
+    std::sort(active_eject_.begin(), active_eject_.end());
+  }
+  for (std::size_t k = 0; k < active_eject_.size(); ++k) {
+    const NodeId i = active_eject_[k];
     freed_vcs_.clear();
     nis_[i]->tick_eject(now, freed_vcs_);
     for (const int vc : freed_vcs_) {
       routers_[i]->add_output_credit(Direction::kLocal, vc);
     }
   }
+  std::erase_if(active_eject_, [this](NodeId i) {
+    if (nis_[i]->eject_pending()) return false;
+    eject_active_[i] = 0;
+    return true;
+  });
 
-  // Phase 1: switch allocation / traversal in every router, staging link
-  // transfers and credit returns (applied after all routers evaluated).
+  // Phase 1: switch allocation / traversal in every active router, staging
+  // link transfers and credit returns (applied after all routers
+  // evaluated). Phase 2: route computation / VC allocation for newly
+  // arrived heads. Later phases may append newly woken routers to the
+  // list; those start participating next cycle, exactly like a freshly
+  // arrived flit did under the full scan.
   transfers_.clear();
   credits_.clear();
-  for (auto& r : routers_) r->tick_sa_st(now, transfers_, credits_);
+  if (!std::is_sorted(active_routers_.begin(), active_routers_.end())) {
+    std::sort(active_routers_.begin(), active_routers_.end());
+  }
+  const std::size_t n_active = active_routers_.size();
+  for (std::size_t k = 0; k < n_active; ++k) {
+    routers_[active_routers_[k]]->tick_sa_st(now, transfers_, credits_);
+  }
+  for (std::size_t k = 0; k < n_active; ++k) {
+    routers_[active_routers_[k]]->tick_rc_va(now);
+  }
 
-  // Phase 2: route computation / VC allocation for newly arrived heads.
-  for (auto& r : routers_) r->tick_rc_va(now);
-
-  // Phase 3: NI injection (one flit per node per cycle).
-  for (std::size_t i = 0; i < nis_.size(); ++i) {
+  // Phase 3: NI injection (one flit per node per cycle). Includes NIs that
+  // enqueued during phase 0 of this very cycle, as the full scan did.
+  if (!std::is_sorted(active_inject_.begin(), active_inject_.end())) {
+    std::sort(active_inject_.begin(), active_inject_.end());
+  }
+  for (std::size_t k = 0; k < active_inject_.size(); ++k) {
+    const NodeId i = active_inject_[k];
     Flit flit;
     if (nis_[i]->tick_inject(now, flit)) {
-      routers_[i]->accept_flit(
-          Direction::kLocal, flit,
-          now + static_cast<Cycle>(cfg_.link_latency));
+      routers_[i]->accept_flit(Direction::kLocal, flit,
+                               now + static_cast<Cycle>(cfg_.link_latency));
+      mark_router_active(i);
     }
   }
+  std::erase_if(active_inject_, [this](NodeId i) {
+    if (nis_[i]->pending_injections() != 0) return false;
+    inject_active_[i] = 0;
+    return true;
+  });
 
   // Phase 4: apply staged credits (visible next cycle).
   for (const CreditReturn& cr : credits_) {
     if (cr.in_port == Direction::kLocal) {
       nis_[cr.router]->return_credit(cr.vc);
     } else {
-      const Coord up = step(geom_.coord_of(cr.router), cr.in_port);
-      routers_[geom_.id_of(up)]->add_output_credit(opposite(cr.in_port),
-                                                   cr.vc);
+      const std::int32_t up =
+          neighbour_[static_cast<std::size_t>(cr.router) * kNumPorts +
+                     port_index(cr.in_port)];
+      assert(up >= 0 && "credit return through a disconnected port");
+      routers_[static_cast<std::size_t>(up)]->add_output_credit(
+          opposite(cr.in_port), cr.vc);
     }
   }
 
@@ -147,20 +200,36 @@ void MeshNetwork::tick(Cycle now) {
         record_delivery(*tr.flit.pkt);
       }
       nis_[tr.from_router]->eject(tr.flit, arrival);
+      mark_eject_active(tr.from_router);
     } else {
-      const Coord next = step(geom_.coord_of(tr.from_router), tr.out_port);
-      routers_[geom_.id_of(next)]->accept_flit(opposite(tr.out_port), tr.flit,
-                                               arrival);
+      const std::int32_t next =
+          neighbour_[static_cast<std::size_t>(tr.from_router) * kNumPorts +
+                     port_index(tr.out_port)];
+      assert(next >= 0 && "transfer through a disconnected port");
+      routers_[static_cast<std::size_t>(next)]->accept_flit(
+          opposite(tr.out_port), tr.flit, arrival);
+      mark_router_active(static_cast<NodeId>(next));
     }
   }
+
+  // Routers that went fully quiet leave the active set; anything that
+  // received a flit in phases 3/5 has buffered flits and stays.
+  std::erase_if(active_routers_, [this](NodeId i) {
+    if (routers_[i]->buffered_flits() != 0) return false;
+    router_active_[i] = 0;
+    return true;
+  });
 }
 
 bool MeshNetwork::idle() const noexcept {
-  for (const auto& r : routers_) {
-    if (r->buffered_flits() != 0) return false;
+  // Routers with buffered flits and NIs with pending injections are
+  // always members of their active set (marked on accept/enqueue, removed
+  // only once empty), so checking the sets equals the old full scans.
+  for (const NodeId i : active_routers_) {
+    if (routers_[i]->buffered_flits() != 0) return false;
   }
-  for (const auto& ni : nis_) {
-    if (ni->pending_injections() != 0) return false;
+  for (const NodeId i : active_inject_) {
+    if (nis_[i]->pending_injections() != 0) return false;
   }
   return true;
 }

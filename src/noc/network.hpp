@@ -1,5 +1,14 @@
 // The 2D-mesh network: owns routers, links and network interfaces, and
 // performs the deterministic two-phase per-cycle evaluation.
+//
+// Hot-path machinery (PR 2): the per-cycle phases iterate *active sets*
+// (routers holding flits, NIs with pending injections/ejections) instead
+// of scanning every node -- a quiescent mesh costs near-zero per cycle.
+// The sets are kept sorted by node id at each use, so evaluation order,
+// and with it every stat and delivery sequence, is bit-identical to the
+// full scans (locked by tests/noc/golden_stats_test.cpp). Packets come
+// from a recycling PacketPool, and link/credit hops use precomputed
+// neighbour tables instead of re-deriving coordinates per transfer.
 #pragma once
 
 #include <memory>
@@ -41,6 +50,8 @@ class MeshNetwork : public sim::Tickable {
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
 
   /// Creates a packet with a fresh id and the wire size implied by `type`.
+  /// Drawn from the network's recycling pool; the handle may outlive the
+  /// network (stragglers fall back to plain frees).
   [[nodiscard]] PacketPtr make_packet(NodeId src, NodeId dst, PacketType type,
                                       std::uint32_t payload = 0);
 
@@ -74,18 +85,51 @@ class MeshNetwork : public sim::Tickable {
   /// Aggregated router statistics.
   [[nodiscard]] RouterStats total_router_stats() const;
 
+  /// The packet pool (observability: live handles / free-list depth).
+  [[nodiscard]] const PacketPool& packet_pool() const noexcept { return pool_; }
+
  private:
   void record_delivery(const Packet& pkt);
+
+  /// Active-set membership. Marking is idempotent; the lists are sorted
+  /// by id at each use and compacted when a node goes quiet.
+  void mark_router_active(NodeId id) {
+    if (!router_active_[id]) {
+      router_active_[id] = 1;
+      active_routers_.push_back(id);
+    }
+  }
+  void mark_inject_active(NodeId id) {
+    if (!inject_active_[id]) {
+      inject_active_[id] = 1;
+      active_inject_.push_back(id);
+    }
+  }
+  void mark_eject_active(NodeId id) {
+    if (!eject_active_[id]) {
+      eject_active_[id] = 1;
+      active_eject_.push_back(id);
+    }
+  }
 
   sim::Engine& engine_;
   MeshGeometry geom_;
   NocConfig cfg_;
+  PacketPool pool_;
   std::unique_ptr<RoutingAlgorithm> routing_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  /// neighbour_[node * kNumPorts + port]: adjacent router id, -1 if edge.
+  std::vector<std::int32_t> neighbour_;
   std::vector<LinkTransfer> transfers_;
   std::vector<CreditReturn> credits_;
   std::vector<int> freed_vcs_;
+  std::vector<NodeId> active_routers_;
+  std::vector<NodeId> active_inject_;
+  std::vector<NodeId> active_eject_;
+  std::vector<std::uint8_t> router_active_;
+  std::vector<std::uint8_t> inject_active_;
+  std::vector<std::uint8_t> eject_active_;
   NetworkStats stats_;
   PacketId next_packet_id_ = 1;
 };

@@ -36,7 +36,7 @@ bool NetworkInterface::try_inject_class(int cls, Flit& out) {
     const int span = cfg_.vcs_per_class();
     state.vc = base + state.rr_vc % span;
     state.rr_vc = (state.rr_vc + 1) % span;
-    state.flits = make_flits(state.queue.front());
+    make_flits_into(state.queue.front(), state.flits);
     state.queue.pop_front();
     state.cursor = 0;
     for (auto& f : state.flits) f.vc = static_cast<std::int8_t>(state.vc);

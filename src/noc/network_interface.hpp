@@ -60,12 +60,18 @@ class NetworkInterface {
   void deliver_local(const Packet& pkt);
 
   [[nodiscard]] std::size_t pending_injections() const noexcept;
+  /// True while ejected flits are waiting to be drained by tick_eject
+  /// (drives the network's active-NI scheduling).
+  [[nodiscard]] bool eject_pending() const noexcept {
+    return !eject_queue_.empty();
+  }
   [[nodiscard]] const NiStats& stats() const noexcept { return stats_; }
 
  private:
   struct ClassState {
     std::deque<PacketPtr> queue;
-    std::vector<Flit> flits;    // flits of the in-flight packet
+    std::vector<Flit> flits;    // flits of the in-flight packet (capacity
+                                // reused across packets via make_flits_into)
     std::size_t cursor = 0;     // next flit to inject
     int vc = -1;                // VC assigned to the in-flight packet
     int rr_vc = 0;              // round-robin VC choice within the class

@@ -28,19 +28,92 @@ std::string Packet::to_string() const {
   return os.str();
 }
 
+void PacketPtr::dispose(Packet* p) noexcept {
+  detail::PoolCore* core = p->ctrl.pool;
+  if (core == nullptr) {
+    delete p;
+    return;
+  }
+  --core->live;
+  if (core->alive) {
+    core->free.push_back(p);
+  } else {
+    // The pool is gone; the core sticks around until the last straggler
+    // (e.g. a packet captured in an engine event) frees it.
+    delete p;
+    if (core->live == 0) delete core;
+  }
+}
+
+namespace {
+
+/// Back to default-constructed state, minus the options capacity -- that
+/// retained buffer is the point of recycling.
+void reset_for_reuse(Packet& p) noexcept {
+  p.id = 0;
+  p.src = kInvalidNode;
+  p.dst = kInvalidNode;
+  p.type = PacketType::kGeneric;
+  p.payload = 0;
+  p.options.clear();
+  p.size_flits = 1;
+  p.tag = 0;
+  p.src_app = kInvalidApp;
+  p.birth = 0;
+  p.delivered = 0;
+  p.tampered = false;
+  p.boosted = false;
+  p.original_payload = 0;
+}
+
+}  // namespace
+
+PacketPool::~PacketPool() {
+  core_->alive = false;
+  for (Packet* p : core_->free) delete p;
+  core_->free.clear();
+  if (core_->live == 0) delete core_;
+}
+
+PacketPtr PacketPool::allocate() {
+  Packet* p;
+  if (core_->free.empty()) {
+    p = new Packet();
+  } else {
+    p = core_->free.back();
+    core_->free.pop_back();
+    reset_for_reuse(*p);
+  }
+  p->ctrl.pool = core_;
+  p->ctrl.refs = 1;
+  ++core_->live;
+  return PacketPtr::adopt(p);
+}
+
+PacketPtr make_heap_packet() {
+  auto* p = new Packet();
+  p->ctrl.refs = 1;
+  return PacketPtr::adopt(p);
+}
+
 std::vector<Flit> make_flits(PacketPtr pkt) {
-  const int n = pkt->size_flits < 1 ? 1 : pkt->size_flits;
   std::vector<Flit> flits;
-  flits.reserve(static_cast<std::size_t>(n));
+  make_flits_into(pkt, flits);
+  return flits;
+}
+
+void make_flits_into(const PacketPtr& pkt, std::vector<Flit>& out) {
+  const int n = pkt->size_flits < 1 ? 1 : pkt->size_flits;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     Flit f;
     f.pkt = pkt;
     f.index = static_cast<std::uint16_t>(i);
     f.is_head = (i == 0);
     f.is_tail = (i == n - 1);
-    flits.push_back(std::move(f));
+    out.push_back(std::move(f));
   }
-  return flits;
 }
 
 }  // namespace htpb::noc

@@ -6,6 +6,14 @@
 // without data), 2-flit command packets (power requests / Trojan
 // configuration, which carry the type word and payload) and 5-flit data
 // packets (cache-line transfers).
+//
+// Ownership: packets are shared by all of their flits through PacketPtr, an
+// intrusive reference-counted handle. A simulation run is single-threaded
+// by design (the two-phase router update; parallelism is across campaigns),
+// so the count is a plain integer -- copying a flit costs one increment,
+// not an atomic RMW like the former std::shared_ptr did. Packets normally
+// come from a MeshNetwork's PacketPool and return to it when the last
+// handle drops, so steady-state traffic allocates nothing.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +66,31 @@ enum class PacketType : std::uint32_t {
   }
 }
 
+struct Packet;
+
+namespace detail {
+/// Shared between a PacketPool and the packets it issued. Outlives the
+/// pool while packets are still in flight (e.g. a delivery event captured
+/// in the engine after the network was torn down), so a late release can
+/// never touch freed pool memory.
+struct PoolCore {
+  std::vector<Packet*> free;
+  std::size_t live = 0;
+  bool alive = true;
+};
+}  // namespace detail
+
+/// Intrusive-refcount bookkeeping inside a Packet. Copying a Packet value
+/// clones the payload but never the identity, so the copy starts unowned.
+struct PacketControl {
+  std::uint32_t refs = 0;
+  detail::PoolCore* pool = nullptr;
+
+  PacketControl() noexcept = default;
+  PacketControl(const PacketControl&) noexcept {}
+  PacketControl& operator=(const PacketControl&) noexcept { return *this; }
+};
+
 struct Packet {
   PacketId id = 0;
   NodeId src = kInvalidNode;
@@ -84,10 +117,97 @@ struct Packet {
   bool boosted = false;
   std::uint32_t original_payload = 0;
 
+  /// Managed by PacketPtr / PacketPool; not part of the packet's value.
+  PacketControl ctrl;
+
   [[nodiscard]] std::string to_string() const;
 };
 
-using PacketPtr = std::shared_ptr<Packet>;
+/// Shared-ownership handle to a Packet (single-threaded refcount; see the
+/// file comment). Drop-in for the former std::shared_ptr<Packet> uses.
+class PacketPtr {
+ public:
+  PacketPtr() noexcept = default;
+  PacketPtr(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+  PacketPtr(const PacketPtr& o) noexcept : p_(o.p_) {
+    if (p_ != nullptr) ++p_->ctrl.refs;
+  }
+  PacketPtr(PacketPtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+  PacketPtr& operator=(const PacketPtr& o) noexcept {
+    if (this != &o) {
+      Packet* keep = o.p_;
+      if (keep != nullptr) ++keep->ctrl.refs;
+      release();
+      p_ = keep;
+    }
+    return *this;
+  }
+  PacketPtr& operator=(PacketPtr&& o) noexcept {
+    if (this != &o) {
+      release();
+      p_ = o.p_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+  ~PacketPtr() { release(); }
+
+  /// Wraps a packet whose refcount already accounts for this handle.
+  [[nodiscard]] static PacketPtr adopt(Packet* p) noexcept {
+    PacketPtr h;
+    h.p_ = p;
+    return h;
+  }
+
+  void reset() noexcept { release(); }
+  [[nodiscard]] Packet* get() const noexcept { return p_; }
+  [[nodiscard]] Packet& operator*() const noexcept { return *p_; }
+  [[nodiscard]] Packet* operator->() const noexcept { return p_; }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+  friend bool operator==(const PacketPtr& a, const PacketPtr& b) noexcept {
+    return a.p_ == b.p_;
+  }
+  friend bool operator==(const PacketPtr& a, std::nullptr_t) noexcept {
+    return a.p_ == nullptr;
+  }
+
+ private:
+  void release() noexcept {
+    Packet* p = p_;
+    p_ = nullptr;
+    if (p != nullptr && --p->ctrl.refs == 0) dispose(p);
+  }
+  static void dispose(Packet* p) noexcept;  // packet.cpp: pool / free
+
+  Packet* p_ = nullptr;
+};
+
+/// Recycling arena for packets: `allocate` pops a free-listed packet (its
+/// options vector keeps its capacity) or news one; the last PacketPtr
+/// returns it here. One pool per MeshNetwork.
+class PacketPool {
+ public:
+  PacketPool() : core_(new detail::PoolCore) {}
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+  ~PacketPool();
+
+  [[nodiscard]] PacketPtr allocate();
+
+  /// Packets currently held by handles (diagnostics / leak tests).
+  [[nodiscard]] std::size_t live() const noexcept { return core_->live; }
+  /// Packets parked on the free list.
+  [[nodiscard]] std::size_t pooled() const noexcept {
+    return core_->free.size();
+  }
+
+ private:
+  detail::PoolCore* core_;
+};
+
+/// Standalone packet on the plain heap (tests, ad-hoc tools); freed by the
+/// last handle like any other packet.
+[[nodiscard]] PacketPtr make_heap_packet();
 
 /// One flit of a packet. All flits of a packet share ownership of the
 /// Packet object; only the head flit triggers route computation and
@@ -103,5 +223,9 @@ struct Flit {
 
 /// Splits a packet into its flit sequence.
 [[nodiscard]] std::vector<Flit> make_flits(PacketPtr pkt);
+
+/// `make_flits` into a caller-owned buffer (cleared first) so a hot caller
+/// can reuse one vector's capacity for every packet it serializes.
+void make_flits_into(const PacketPtr& pkt, std::vector<Flit>& out);
 
 }  // namespace htpb::noc

@@ -8,16 +8,20 @@ namespace htpb::noc {
 Router::Router(NodeId id, const MeshGeometry& geom, const NocConfig& cfg,
                const RoutingAlgorithm* routing)
     : id_(id), geom_(geom), coord_(geom.coord_of(id)), cfg_(cfg),
-      routing_(routing) {
+      routing_(routing),
+      routing_uses_credits_(routing != nullptr && routing->uses_credits()) {
   if (cfg_.vcs < 2 || cfg_.vcs % 2 != 0) {
     throw std::invalid_argument("Router: vcs must be even and >= 2");
   }
-  for (auto& port : in_) {
-    port.vcs.resize(static_cast<std::size_t>(cfg_.vcs));
+  if (cfg_.vcs > kMaxVcs || cfg_.vc_depth > kMaxVcDepth) {
+    throw std::invalid_argument(
+        "Router: vcs/vc_depth exceed the inline-storage caps "
+        "(kMaxVcs/kMaxVcDepth in noc/config.hpp)");
   }
   for (auto& port : out_) {
-    port.vcs.resize(static_cast<std::size_t>(cfg_.vcs));
-    for (auto& vc : port.vcs) vc.credits = cfg_.vc_depth;
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      port.vcs[static_cast<std::size_t>(v)].credits = cfg_.vc_depth;
+    }
   }
   out_[port_index(Direction::kLocal)].connected = true;
 }
@@ -27,9 +31,15 @@ void Router::set_port_connected(Direction p, bool connected) {
 }
 
 void Router::accept_flit(Direction in_port, const Flit& flit, Cycle arrival) {
-  InputVc& ivc = input_vc(in_port, flit.vc);
-  assert(static_cast<int>(ivc.fifo.size()) < cfg_.vc_depth &&
+  InputPort& iport = in_[port_index(in_port)];
+  InputVc& ivc = iport.vcs[static_cast<std::size_t>(flit.vc)];
+  assert(ivc.fifo.size() < cfg_.vc_depth &&
          "credit protocol violated: input buffer overflow");
+  // A head landing at the front of an idle VC starts waiting for RC.
+  if (!ivc.active && ivc.fifo.empty() && flit.is_head) {
+    ++iport.rc_pending;
+    ++rc_pending_total_;
+  }
   ivc.fifo.push_back(BufferedFlit{flit, arrival, false});
   ++buffered_flits_;
 }
@@ -56,13 +66,35 @@ void Router::tick_sa_st(Cycle now, std::vector<LinkTransfer>& transfers,
     if (!oport.connected || oport.active_inputs == 0) continue;
     const auto out_dir = static_cast<Direction>(pi);
 
-    for (int k = 0; k < candidates; ++k) {
-      const int cand = (oport.rr_candidate + k) % candidates;
-      const int in_pi = cand / cfg_.vcs;
-      const int in_vc = cand % cfg_.vcs;
+    // Order the routed input VCs by circular distance from rr_candidate.
+    // Evaluating them in that order is exactly the old full scan over all
+    // (in_port, vc) combinations -- unrouted combinations had no effect --
+    // so grants and conflict-stall counts stay bit-identical.
+    const int n = oport.active_inputs;
+    SaCandidate ord[kNumPorts * kMaxVcs];
+    int ord_dist[kNumPorts * kMaxVcs];
+    for (int i = 0; i < n; ++i) {
+      const SaCandidate sc = oport.routed[static_cast<std::size_t>(i)];
+      int dist = static_cast<int>(sc.cand) - oport.rr_candidate;
+      if (dist < 0) dist += candidates;
+      int j = i;
+      while (j > 0 && ord_dist[j - 1] > dist) {
+        ord[j] = ord[j - 1];
+        ord_dist[j] = ord_dist[j - 1];
+        --j;
+      }
+      ord[j] = sc;
+      ord_dist[j] = dist;
+    }
+
+    for (int k = 0; k < n; ++k) {
+      const SaCandidate sc = ord[k];
+      const int in_pi = sc.in_port;
+      const int in_vc = sc.in_vc;
       if (input_used[in_pi]) continue;
       InputVc& ivc = in_[in_pi].vcs[static_cast<std::size_t>(in_vc)];
-      if (!ivc.active || ivc.out_port != out_dir || ivc.fifo.empty()) continue;
+      assert(ivc.active && ivc.out_port == out_dir);
+      if (ivc.fifo.empty()) continue;
 
       const BufferedFlit& front = ivc.fifo.front();
       // The flit spends cfg_.router_latency cycles in this router before it
@@ -85,18 +117,32 @@ void Router::tick_sa_st(Cycle now, std::vector<LinkTransfer>& transfers,
       ++stats_.flits_forwarded;
       if (out_dir == Direction::kLocal) ++stats_.flits_ejected;
 
-      transfers.push_back(LinkTransfer{id_, out_dir, flit});
+      transfers.push_back(LinkTransfer{id_, out_dir, std::move(flit)});
       credits.push_back(
           CreditReturn{id_, static_cast<Direction>(in_pi), in_vc});
 
-      if (flit.is_tail) {
+      if (transfers.back().flit.is_tail) {
         ovc.allocated = false;
         ivc.active = false;
         ivc.out_vc = -1;
+        // Swap-remove the candidate from the routed list.
+        for (int i = 0; i < oport.active_inputs; ++i) {
+          if (oport.routed[static_cast<std::size_t>(i)].cand == sc.cand) {
+            oport.routed[static_cast<std::size_t>(i)] =
+                oport.routed[static_cast<std::size_t>(oport.active_inputs - 1)];
+            break;
+          }
+        }
         --oport.active_inputs;
+        // The next packet's head (if queued behind the tail) now fronts an
+        // idle VC and waits for RC.
+        if (!ivc.fifo.empty() && ivc.fifo.front().flit.is_head) {
+          ++in_[in_pi].rc_pending;
+          ++rc_pending_total_;
+        }
       }
       input_used[in_pi] = true;
-      oport.rr_candidate = (cand + 1) % candidates;
+      oport.rr_candidate = sc.cand + 1 == candidates ? 0 : sc.cand + 1;
       break;  // one flit per output port per cycle
     }
   }
@@ -109,8 +155,12 @@ void Router::run_inspectors(Packet& pkt, Cycle now) {
 }
 
 void Router::tick_rc_va(Cycle now) {
-  if (buffered_flits_ == 0) return;
+  // Only input VCs fronted by an unrouted head need RC/VA; their count is
+  // tracked by accept_flit / tick_sa_st, so quiet routers and mid-packet
+  // VCs cost nothing here.
+  if (rc_pending_total_ == 0) return;
   for (int pi = 0; pi < kNumPorts; ++pi) {
+    if (in_[pi].rc_pending == 0) continue;
     for (int vi = 0; vi < cfg_.vcs; ++vi) {
       InputVc& ivc = in_[pi].vcs[static_cast<std::size_t>(vi)];
       if (ivc.active || ivc.fifo.empty()) continue;
@@ -135,9 +185,11 @@ void Router::tick_rc_va(Cycle now) {
       q.here = coord_;
       q.dst = geom_.coord_of(pkt.dst);
       q.vc_class = vc_class_of(pkt.type);
-      for (int p = 0; p < kNumPorts; ++p) {
-        q.free_credits[p] =
-            free_credits_for_class(static_cast<Direction>(p), q.vc_class);
+      if (routing_uses_credits_) {
+        for (int p = 0; p < kNumPorts; ++p) {
+          q.free_credits[p] =
+              free_credits_for_class(static_cast<Direction>(p), q.vc_class);
+        }
       }
 
       const Direction out_dir = routing_->select(q);
@@ -149,7 +201,9 @@ void Router::tick_rc_va(Cycle now) {
       const int span = cfg_.vcs_per_class();
       int granted = -1;
       for (int k = 0; k < span; ++k) {
-        const int v = base + (oport.rr_vc + k) % span;
+        int rel = oport.rr_vc + k;
+        if (rel >= span) rel -= span;
+        const int v = base + rel;
         if (!oport.vcs[static_cast<std::size_t>(v)].allocated) {
           granted = v;
           break;
@@ -160,13 +214,20 @@ void Router::tick_rc_va(Cycle now) {
         continue;
       }
       oport.vcs[static_cast<std::size_t>(granted)].allocated = true;
-      oport.rr_vc = (granted - base + 1) % span;
+      const int next_rr = granted - base + 1;
+      oport.rr_vc = next_rr == span ? 0 : next_rr;
+      oport.routed[static_cast<std::size_t>(oport.active_inputs)] =
+          SaCandidate{static_cast<std::uint8_t>(pi * cfg_.vcs + vi),
+                      static_cast<std::uint8_t>(pi),
+                      static_cast<std::uint8_t>(vi)};
       ++oport.active_inputs;
       ivc.active = true;
       ivc.out_port = out_dir;
       ivc.out_vc = granted;
       ivc.alloc_cycle = now;
       ++stats_.packets_routed;
+      --in_[pi].rc_pending;
+      --rc_pending_total_;
     }
   }
 }

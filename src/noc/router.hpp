@@ -6,17 +6,24 @@
 // switch-traverse) and 1-cycle links. The PacketInspector chain runs between
 // the input buffer and route computation -- the attachment point of the
 // paper's hardware Trojan (Fig. 2b).
+//
+// Hot-path layout: VC state lives in fixed-size inline arrays (no
+// per-router heap graph), input FIFOs are bounded rings (flit_fifo.hpp),
+// and each output port keeps the list of input VCs currently routed to it
+// so switch allocation only examines real candidates instead of scanning
+// all kNumPorts x vcs combinations -- while granting in exactly the same
+// round-robin order as the full scan did.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/geometry.hpp"
 #include "common/types.hpp"
 #include "noc/config.hpp"
 #include "noc/direction.hpp"
+#include "noc/flit_fifo.hpp"
 #include "noc/inspector.hpp"
 #include "noc/packet.hpp"
 #include "noc/routing.hpp"
@@ -96,8 +103,7 @@ class Router {
   [[nodiscard]] int free_credits_for_class(Direction p, int vc_class) const noexcept;
 
   [[nodiscard]] int input_occupancy(Direction p, int vc) const noexcept {
-    return static_cast<int>(
-        in_[port_index(p)].vcs[static_cast<std::size_t>(vc)].fifo.size());
+    return in_[port_index(p)].vcs[static_cast<std::size_t>(vc)].fifo.size();
   }
   [[nodiscard]] std::uint64_t buffered_flits() const noexcept {
     return buffered_flits_;
@@ -125,7 +131,7 @@ class Router {
   };
 
   struct InputVc {
-    std::deque<BufferedFlit> fifo;
+    RingFifo<BufferedFlit, kMaxVcDepth> fifo;
     bool active = false;       // holds a routed packet
     Direction out_port = Direction::kLocal;
     int out_vc = -1;
@@ -133,7 +139,11 @@ class Router {
   };
 
   struct InputPort {
-    std::vector<InputVc> vcs;
+    std::array<InputVc, kMaxVcs> vcs;
+    /// Input VCs whose front flit is a head awaiting route computation
+    /// (inactive VC, non-empty FIFO). RC/VA only scans ports where this
+    /// is non-zero; a head that loses VC allocation stays counted.
+    int rc_pending = 0;
   };
 
   struct OutputVc {
@@ -141,12 +151,24 @@ class Router {
     bool allocated = false;
   };
 
+  /// An input VC routed to an output port, pre-split so the SA loop does
+  /// no divisions: `cand` is the round-robin code (in_port * vcs + vc).
+  struct SaCandidate {
+    std::uint8_t cand = 0;
+    std::uint8_t in_port = 0;
+    std::uint8_t in_vc = 0;
+  };
+
   struct OutputPort {
-    std::vector<OutputVc> vcs;
+    std::array<OutputVc, kMaxVcs> vcs;
     bool connected = false;
     int rr_candidate = 0;  // SA round-robin over (in_port, vc) pairs
     int rr_vc = 0;         // VA round-robin over output VCs
     int active_inputs = 0; // input VCs currently routed to this port
+    /// Those input VCs; the SA stage orders them by round-robin distance
+    /// instead of scanning all (in_port, vc) combinations. Unordered;
+    /// first `active_inputs` entries are valid.
+    std::array<SaCandidate, kNumPorts * kMaxVcs> routed{};
   };
 
   [[nodiscard]] InputVc& input_vc(Direction p, int vc) noexcept {
@@ -160,11 +182,13 @@ class Router {
   Coord coord_;
   NocConfig cfg_;
   const RoutingAlgorithm* routing_;
+  bool routing_uses_credits_ = false;
   std::array<InputPort, kNumPorts> in_;
   std::array<OutputPort, kNumPorts> out_;
   std::vector<PacketInspector*> inspectors_;
   RouterStats stats_;
   std::uint64_t buffered_flits_ = 0;
+  int rc_pending_total_ = 0;  // sum of InputPort::rc_pending
 };
 
 }  // namespace htpb::noc

@@ -27,6 +27,9 @@ class RoutingAlgorithm {
   /// Returns the output port; kLocal when here == dst.
   [[nodiscard]] virtual Direction select(const RouteQuery& q) const = 0;
   [[nodiscard]] virtual const char* name() const noexcept = 0;
+  /// True when select() reads RouteQuery::free_credits; deterministic
+  /// algorithms return false so the router can skip gathering them.
+  [[nodiscard]] virtual bool uses_credits() const noexcept { return false; }
 };
 
 /// Deterministic XY dimension-order routing: exhaust X first, then Y.
@@ -46,6 +49,7 @@ class WestFirstAdaptiveRouting final : public RoutingAlgorithm {
   [[nodiscard]] const char* name() const noexcept override {
     return "WestFirstAdaptive";
   }
+  [[nodiscard]] bool uses_credits() const noexcept override { return true; }
 };
 
 [[nodiscard]] std::unique_ptr<RoutingAlgorithm> make_routing(RoutingKind kind);

@@ -3,7 +3,9 @@
 namespace htpb::sim {
 
 void Engine::step_one_cycle() {
-  events_.run_all_at(now_);
+  // Most cycles have no due events; skip the queue's pop/compare loop
+  // entirely unless the earliest event is due now.
+  if (events_.next_time() <= now_) events_.run_all_at(now_);
   for (Tickable* t : tickables_) t->tick(now_);
   ++now_;
 }

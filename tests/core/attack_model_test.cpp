@@ -4,6 +4,7 @@
 
 #include "common/rng.hpp"
 #include "core/optimizer.hpp"
+#include "core/parallel_sweep.hpp"
 
 namespace htpb::core {
 namespace {
@@ -93,9 +94,9 @@ TEST(PlacementOptimizer, FindsHighQRegionOfPlantedModel) {
   const MeshGeometry geom(8, 8);
   const NodeId gm = geom.id_of({4, 4});
   PlacementOptimizer optimizer(geom, gm, &model, {2.0, 0.5}, {1.0});
-  Rng opt_rng(17);
+  const ParallelSweepRunner runner(2);
   const auto result = optimizer.optimize(/*max_hts=*/16, /*candidates=*/40,
-                                         opt_rng);
+                                         /*seed=*/17, runner);
   EXPECT_EQ(result.placement.m(), 16);     // m coefficient positive
   EXPECT_LT(result.placement.rho, 2.0);    // rho coefficient negative
   EXPECT_GT(result.predicted_q, 4.0);
@@ -114,13 +115,13 @@ TEST(PlacementOptimizer, RespectsHtBudget) {
   const MeshGeometry geom(8, 8);
   PlacementOptimizer optimizer(geom, geom.id_of({4, 4}), &model, {2.0, 0.5},
                                {1.0});
-  Rng opt_rng(21);
+  const ParallelSweepRunner runner(2);
   for (const int budget : {1, 3, 7}) {
-    const auto result = optimizer.optimize(budget, 20, opt_rng);
+    const auto result = optimizer.optimize(budget, 20, /*seed=*/21, runner);
     EXPECT_LE(result.placement.m(), budget);
     EXPECT_GE(result.placement.m(), 1);
   }
-  EXPECT_THROW((void)optimizer.optimize(0, 10, opt_rng),
+  EXPECT_THROW((void)optimizer.optimize(0, 10, /*seed=*/21, runner),
                std::invalid_argument);
 }
 
@@ -138,8 +139,9 @@ TEST(PlacementOptimizer, BeatsRandomPlacementOnPredictedQ) {
   const MeshGeometry geom(8, 8);
   const NodeId gm = geom.id_of({4, 4});
   PlacementOptimizer optimizer(geom, gm, &model, {2.0, 0.5}, {1.0});
+  const ParallelSweepRunner runner(2);
   Rng opt_rng(29);
-  const auto best = optimizer.optimize(16, 40, opt_rng);
+  const auto best = optimizer.optimize(16, 40, /*seed=*/29, runner);
   double random_mean = 0.0;
   for (int i = 0; i < 20; ++i) {
     const auto rand_nodes = random_placement(geom, 16, opt_rng, gm);
