@@ -30,13 +30,16 @@ int main() {
     cfg.trojan.active = false;
     cfg.toggle_period_epochs = 3;
     cfg.measure_epochs = 6;
-    power::RequestAnomalyDetector detector;
-    cfg.detector = &detector;
+    cfg.detector = power::DetectorConfig{};
     core::AttackCampaign campaign(cfg);
     const MeshGeometry geom(cfg.system.width, cfg.system.height);
     const auto hts = core::clustered_placement(
         geom, 8, geom.coord_of(campaign.gm_node()), campaign.gm_node());
-    (void)campaign.run(hts);  // detection arm (mid-run activation)
+    // Detection arm (mid-run activation); the run owns its detector and
+    // surfaces the report in the outcome.
+    const auto detected = campaign.run(hts);
+    const power::DetectorReport report =
+        detected.detection.value_or(power::DetectorReport{});
 
     // Damage arms are measured with the attack always on so that plain
     // and guarded runs are directly comparable.
@@ -51,15 +54,15 @@ int main() {
           static_cast<int>(app.cores.size());
     }
 
-    // False positives: same chip, Trojans never activated.
-    power::RequestAnomalyDetector clean_detector;
+    // False positives: same chip, Trojans never activated. Detection-only
+    // run: the clean arm has no use for a baseline.
     core::CampaignConfig clean_cfg = cfg;
     clean_cfg.toggle_period_epochs = 0;
-    clean_cfg.detector = &clean_detector;
     core::AttackCampaign clean(clean_cfg);
-    (void)clean.run(hts);
-    const auto false_pos = clean_detector.cumulative().flagged_low.size() +
-                           clean_detector.cumulative().flagged_high.size();
+    const auto clean_report =
+        clean.run_detection_only(hts).value_or(power::DetectorReport{});
+    const auto false_pos =
+        clean_report.flagged_low.size() + clean_report.flagged_high.size();
 
     // Mitigation arm.
     core::CampaignConfig guard_cfg = bench::mix_campaign_config(mix, 64);
@@ -73,9 +76,8 @@ int main() {
 
     std::printf("%-7s | %9.3f %9.3f | %6zu/%-5d %6zu/%-5d | %9zu %9.3f\n",
                 cfg.mix->name.c_str(), plain.q, mitigated.q,
-                detector.cumulative().flagged_low.size(), victims,
-                detector.cumulative().flagged_high.size(), attackers,
-                false_pos, worst);
+                report.flagged_low.size(), victims,
+                report.flagged_high.size(), attackers, false_pos, worst);
   }
   std::printf("\n(victims flag = starved cores detected / victim cores;\n"
               "boost flag = inflated cores detected / attacker cores;\n"

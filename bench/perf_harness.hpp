@@ -54,6 +54,11 @@ template <typename Fn>
 
 class PerfReport {
  public:
+  /// `benchmark` names the suite in the JSON header so baseline files
+  /// are self-identifying (default keeps existing NoC baselines valid).
+  explicit PerfReport(std::string benchmark = "noc_hotpath")
+      : benchmark_(std::move(benchmark)) {}
+
   void add(PerfResult r) {
     std::printf("  %-28s %12.0f cycles/s  (%llu cycles, %.3fs, "
                 "%llu pkts delivered)\n",
@@ -70,7 +75,7 @@ class PerfReport {
   bool write_json(const std::string& path) const {
     std::ofstream out(path);
     if (!out) return false;
-    out << "{\n  \"benchmark\": \"noc_hotpath\",\n  \"results\": [\n";
+    out << "{\n  \"benchmark\": \"" << benchmark_ << "\",\n  \"results\": [\n";
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const PerfResult& r = results_[i];
       out << "    {\"name\": \"" << r.name << "\", "
@@ -141,6 +146,7 @@ class PerfReport {
     return true;
   }
 
+  std::string benchmark_;
   std::vector<PerfResult> results_;
 };
 

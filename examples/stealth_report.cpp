@@ -9,6 +9,7 @@
 
 #include "core/area_power.hpp"
 #include "core/campaign.hpp"
+#include "core/defense_sweep.hpp"
 #include "core/placement.hpp"
 #include "workload/application.hpp"
 
@@ -67,6 +68,35 @@ int main(int argc, char** argv) {
   std::printf("  - the only observable: victims' requests arriving at the\n");
   std::printf("    manager shrunk by %.0fx -- cross-checking requests against\n",
               1.0 / cfg.trojan.victim_scale);
-  std::printf("    per-core power telemetry is the natural defense\n");
+  std::printf("    per-core power telemetry is the natural defense\n\n");
+
+  // And what that defense actually buys: sweep the manager-side trust
+  // band against this exact placement (mid-run activation so the
+  // detector earns honest history before the Trojans wake up).
+  core::DefenseSweepConfig sweep_cfg;
+  sweep_cfg.base = cfg;
+  sweep_cfg.base.trojan.active = false;
+  sweep_cfg.base.toggle_period_epochs = 3;
+  sweep_cfg.base.measure_epochs = 6;
+  for (const auto& [lo, hi] : {std::pair{0.6, 1.6}, std::pair{0.45, 2.2},
+                               std::pair{0.25, 4.0}}) {
+    power::DetectorConfig d;
+    d.low_ratio = lo;
+    d.high_ratio = hi;
+    sweep_cfg.detectors.push_back(d);
+  }
+  sweep_cfg.placements.push_back(placement);
+  const auto curve =
+      core::DefenseSweep(sweep_cfg).run(core::ParallelSweepRunner());
+
+  std::printf("manager-side defense against this placement:\n");
+  std::printf("  %-13s %9s %9s %9s %9s\n", "band [lo,hi]", "detect",
+              "falsePos", "latency", "Q(guard)");
+  for (const auto& pt : curve) {
+    std::printf("  [%4.2f, %4.2f] %8.1f%% %8.1f%% %9.1f %9.3f\n",
+                pt.detector.low_ratio, pt.detector.high_ratio,
+                pt.detection_rate * 100.0, pt.false_positive_rate * 100.0,
+                pt.mean_detection_latency, pt.mean_q_guarded);
+  }
   return 0;
 }

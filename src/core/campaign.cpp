@@ -24,6 +24,7 @@ workload::Mix uniform_mix() {
 }  // namespace
 
 AttackCampaign::AttackCampaign(CampaignConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.system.validate();
   const workload::Mix mix = cfg_.mix.value_or(uniform_mix());
   const int nodes = cfg_.system.node_count();
   int threads = cfg_.threads_per_app;
@@ -60,6 +61,16 @@ AttackCampaign::AttackCampaign(CampaignConfig cfg) : cfg_(std::move(cfg)) {
 AttackCampaign::RunResult AttackCampaign::run_system(
     std::span<const NodeId> ht_nodes) {
   system::ManyCoreSystem sys(cfg_.system, apps_);
+
+  // The detector lives exactly as long as this run: constructed fresh
+  // from the config (never shared across runs or placements), attached to
+  // this run's manager, and reduced to a report before the system dies.
+  std::unique_ptr<power::RequestAnomalyDetector> detector;
+  if (cfg_.detector.has_value() && !ht_nodes.empty()) {
+    detector = cfg_.detector_factory ? cfg_.detector_factory(*cfg_.detector)
+                                     : power::make_detector(*cfg_.detector);
+    sys.gm().attach_detector(detector.get());
+  }
 
   // Implant the Trojans (fab-time insertion: present before power-on).
   std::vector<std::unique_ptr<HardwareTrojan>> trojans;
@@ -109,7 +120,6 @@ AttackCampaign::RunResult AttackCampaign::run_system(
       };
       sys.engine().schedule_in(period, *toggle);
     }
-    if (cfg_.detector != nullptr) sys.gm().attach_detector(cfg_.detector);
   }
 
   sys.run_epochs(cfg_.warmup_epochs);
@@ -133,6 +143,7 @@ AttackCampaign::RunResult AttackCampaign::run_system(
     result.trojan_totals.attacker_requests_boosted +=
         s.attacker_requests_boosted;
   }
+  if (detector != nullptr) result.detection = detector->cumulative();
   return result;
 }
 
@@ -150,6 +161,11 @@ double AttackCampaign::run_infection_only(std::span<const NodeId> ht_nodes) {
   return run_system(ht_nodes).infection;
 }
 
+std::optional<power::DetectorReport> AttackCampaign::run_detection_only(
+    std::span<const NodeId> ht_nodes) {
+  return run_system(ht_nodes).detection;
+}
+
 CampaignOutcome AttackCampaign::run(std::span<const NodeId> ht_nodes) {
   ensure_baseline();
   const RunResult attacked = run_system(ht_nodes);
@@ -157,6 +173,7 @@ CampaignOutcome AttackCampaign::run(std::span<const NodeId> ht_nodes) {
   CampaignOutcome out;
   out.infection_measured = attacked.infection;
   out.trojan_totals = attacked.trojan_totals;
+  out.detection = attacked.detection;
 
   const MeshGeometry geom(cfg_.system.width, cfg_.system.height);
   if (!ht_nodes.empty()) {

@@ -16,6 +16,7 @@
 #include "core/metrics.hpp"
 #include "core/trojan.hpp"
 #include "core/trojan_config.hpp"
+#include "power/defense.hpp"
 #include "system/system_config.hpp"
 #include "workload/application.hpp"
 
@@ -42,10 +43,17 @@ struct CampaignConfig {
   /// OFF"): every `toggle_period_epochs` epochs the agent re-broadcasts
   /// the configuration with the activation signal flipped. 0 = static.
   int toggle_period_epochs = 0;
-  /// Optional manager-side intrusion detector, attached to the *attacked*
-  /// run's global manager (the baseline is by definition clean). Not
-  /// owned; cleared between runs by the caller if reuse is not desired.
-  power::RequestAnomalyDetector* detector = nullptr;
+  /// Optional manager-side intrusion detection policy. When set, every
+  /// *attacked* run constructs its own fresh detector from this config
+  /// (the baseline is by definition clean), attaches it to the run's
+  /// global manager, and surfaces the cumulative DetectorReport in
+  /// CampaignOutcome::detection. Per-run instantiation is what makes
+  /// defense sweeps parallelizable and placement-order independent: no
+  /// EWMA history or flags ever leak from one placement into the next.
+  std::optional<power::DetectorConfig> detector;
+  /// Pluggable detector constructor for future detector types; empty =
+  /// power::make_detector (the request-anomaly detector).
+  power::DetectorFactory detector_factory;
 };
 
 struct AppOutcome {
@@ -66,6 +74,9 @@ struct CampaignOutcome {
   PlacementGeometry geometry{};  ///< rho/eta/m of the placement (m = 0: none)
   std::vector<AppOutcome> apps;
   TrojanStats trojan_totals;
+  /// The attacked run's detection outcome; engaged iff the campaign has a
+  /// detector configured and the run implanted at least one Trojan node.
+  std::optional<power::DetectorReport> detection;
 };
 
 class AttackCampaign {
@@ -84,6 +95,13 @@ class AttackCampaign {
   /// Infection rate only -- skips the baseline (Figs. 3-4).
   [[nodiscard]] double run_infection_only(std::span<const NodeId> ht_nodes);
 
+  /// Detection outcome only -- skips the baseline. Used by defense
+  /// sweeps' false-positive arms (dormant Trojans, clean traffic), where
+  /// Q is irrelevant and the baseline would be wasted work. Engaged iff
+  /// a detector is configured and `ht_nodes` is non-empty.
+  [[nodiscard]] std::optional<power::DetectorReport> run_detection_only(
+      std::span<const NodeId> ht_nodes);
+
   /// Baseline per-app sensitivities Phi (computed with the baseline run).
   [[nodiscard]] const std::vector<double>& baseline_phi();
 
@@ -95,12 +113,21 @@ class AttackCampaign {
   /// baseline size).
   void prime_baseline() { ensure_baseline(); }
 
+  /// Swaps the detection policy of subsequent runs. Detectors are purely
+  /// observational, so the cached baseline stays valid -- defense sweeps
+  /// clone one primed campaign and vary the detector per clone without
+  /// re-running the baseline.
+  void set_detector(std::optional<power::DetectorConfig> detector) {
+    cfg_.detector = std::move(detector);
+  }
+
  private:
   struct RunResult {
     std::vector<double> theta;  // per app
     std::vector<double> phi;    // per app
     double infection = 0.0;
     TrojanStats trojan_totals;
+    std::optional<power::DetectorReport> detection;
   };
 
   RunResult run_system(std::span<const NodeId> ht_nodes);

@@ -1,0 +1,168 @@
+#include "core/defense_sweep.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace htpb::core {
+
+namespace {
+
+/// Cores the detector watches, split by allegiance (rates are defined
+/// over these populations).
+struct MonitoredCores {
+  int victims = 0;
+  int attackers = 0;
+  [[nodiscard]] int total() const noexcept { return victims + attackers; }
+};
+
+MonitoredCores count_cores(const AttackCampaign& campaign) {
+  MonitoredCores mc;
+  for (const auto& app : campaign.apps()) {
+    (app.is_attacker() ? mc.attackers : mc.victims) +=
+        static_cast<int>(app.cores.size());
+  }
+  return mc;
+}
+
+}  // namespace
+
+DefenseSweep::DefenseSweep(DefenseSweepConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.detectors.empty()) {
+    throw std::invalid_argument("DefenseSweep: no detector operating points");
+  }
+  if (cfg_.placements.empty()) {
+    throw std::invalid_argument("DefenseSweep: no placements");
+  }
+}
+
+std::vector<DefenseCurvePoint> DefenseSweep::run(
+    const ParallelSweepRunner& runner) const {
+  const std::size_t d_count = cfg_.detectors.size();
+  const std::size_t p_count = cfg_.placements.size();
+
+  // Detection arm: one master campaign (the detector does not perturb the
+  // dynamics, so every operating point shares one baseline), one clone
+  // per (detector, placement) cell, each clone's run owning its detector.
+  CampaignConfig detect_cfg = cfg_.base;
+  detect_cfg.detector.reset();
+  AttackCampaign master(detect_cfg);
+  master.prime_baseline();
+  const MonitoredCores cores = count_cores(master);
+
+  const auto attacked =
+      runner.map(d_count * p_count, [&](std::size_t i) {
+        AttackCampaign clone(master);
+        clone.set_detector(cfg_.detectors[i / p_count]);
+        return clone.run(cfg_.placements[i % p_count]);
+      });
+
+  // Clean arm (false positives): Trojans implanted but dormant, so the
+  // manager sees honest traffic. No baseline needed -- detection only.
+  std::vector<std::optional<power::DetectorReport>> clean;
+  if (cfg_.measure_false_positives) {
+    clean = runner.map(d_count, [&](std::size_t d) {
+      CampaignConfig clean_cfg = cfg_.base;
+      clean_cfg.detector = cfg_.detectors[d];
+      clean_cfg.trojan.active = false;
+      clean_cfg.toggle_period_epochs = 0;  // never wakes up
+      AttackCampaign campaign(clean_cfg);
+      return campaign.run_detection_only(cfg_.placements.front());
+    });
+  }
+
+  // Guard arm: the GuardedBudgeter changes the dynamics (and therefore
+  // the baseline), so each operating point primes its own master -- in
+  // parallel -- before its placements fan out.
+  std::vector<CampaignOutcome> guarded;
+  if (cfg_.evaluate_guard) {
+    const auto guard_masters =
+        runner.map(d_count, [&](std::size_t d) {
+          CampaignConfig guard_cfg = cfg_.base;
+          guard_cfg.detector.reset();
+          guard_cfg.system.guard_requests = true;
+          guard_cfg.system.guard_config = cfg_.detectors[d];
+          auto m = std::make_shared<AttackCampaign>(guard_cfg);
+          m->prime_baseline();
+          return m;
+        });
+    guarded = runner.map(d_count * p_count, [&](std::size_t i) {
+      AttackCampaign clone(*guard_masters[i / p_count]);
+      return clone.run(cfg_.placements[i % p_count]);
+    });
+  }
+
+  std::vector<DefenseCurvePoint> curve(d_count);
+  for (std::size_t d = 0; d < d_count; ++d) {
+    DefenseCurvePoint& pt = curve[d];
+    pt.detector = cfg_.detectors[d];
+    pt.cells.resize(p_count);
+    double latency_sum = 0.0;
+    int latency_n = 0;
+    double q_sum = 0.0;
+    int q_n = 0;
+    for (std::size_t p = 0; p < p_count; ++p) {
+      DefenseCell& cell = pt.cells[p];
+      cell.detector_index = d;
+      cell.placement_index = p;
+      cell.outcome = attacked[d * p_count + p];
+      if (cell.outcome.detection.has_value()) {
+        const power::DetectorReport& rep = *cell.outcome.detection;
+        if (cores.victims > 0) {
+          cell.victim_flag_rate =
+              static_cast<double>(rep.flagged_low.size()) / cores.victims;
+        }
+        if (cores.attackers > 0) {
+          cell.attacker_flag_rate =
+              static_cast<double>(rep.flagged_high.size()) / cores.attackers;
+        }
+        if (cores.total() > 0) {
+          pt.detection_rate +=
+              static_cast<double>(rep.flagged_low.size() +
+                                  rep.flagged_high.size()) /
+              cores.total();
+        }
+        if (rep.first_flag_epoch >= 0) {
+          latency_sum += rep.first_flag_epoch;
+          ++latency_n;
+        }
+      }
+      pt.victim_flag_rate += cell.victim_flag_rate;
+      pt.attacker_flag_rate += cell.attacker_flag_rate;
+      if (cell.outcome.q_valid) {
+        q_sum += cell.outcome.q;
+        ++q_n;
+      }
+    }
+    const auto denom = static_cast<double>(p_count);
+    pt.detection_rate /= denom;
+    pt.victim_flag_rate /= denom;
+    pt.attacker_flag_rate /= denom;
+    if (latency_n > 0) pt.mean_detection_latency = latency_sum / latency_n;
+    if (q_n > 0) pt.mean_q_plain = q_sum / q_n;
+
+    if (cfg_.measure_false_positives && clean[d].has_value() &&
+        cores.total() > 0) {
+      const power::DetectorReport& rep = *clean[d];
+      pt.false_positive_rate =
+          static_cast<double>(rep.flagged_low.size() +
+                              rep.flagged_high.size()) /
+          cores.total();
+    }
+    if (cfg_.evaluate_guard) {
+      double gq_sum = 0.0;
+      int gq_n = 0;
+      for (std::size_t p = 0; p < p_count; ++p) {
+        const CampaignOutcome& g = guarded[d * p_count + p];
+        if (g.q_valid) {
+          gq_sum += g.q;
+          ++gq_n;
+        }
+      }
+      if (gq_n > 0) pt.mean_q_guarded = gq_sum / gq_n;
+    }
+  }
+  return curve;
+}
+
+}  // namespace htpb::core

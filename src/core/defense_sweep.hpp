@@ -1,0 +1,94 @@
+// Defense-evaluation sweeps: detector operating points x Trojan
+// placements, fanned across the ParallelSweepRunner pool in one campaign
+// batch, reduced to the curves a defender actually reads off:
+//
+//   - detection rate      fraction of Trojan-affected cores flagged,
+//   - false-positive rate flags raised on clean traffic,
+//   - detection latency   epochs from power-on to the first confirmed flag,
+//   - Q under guard       residual attack effect when the GuardedBudgeter
+//                         clamps requests at the same operating point.
+//
+// This is the ROC-style surface the paper's conclusion asks for on top of
+// the Figs. 3-6 pipeline: sweep the trust band from tight to loose and
+// watch detection buy false positives (and the guard trade Q for fidelity
+// to honest workload phase changes).
+//
+// Every (detector, placement) cell is an independent campaign evaluation
+// with its own per-run detector, so the whole sweep is bit-identical at
+// 1 and N threads and each cell's report is the same whether the cell is
+// evaluated alone or inside a batch.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/campaign.hpp"
+#include "core/parallel_sweep.hpp"
+#include "power/defense.hpp"
+
+namespace htpb::core {
+
+struct DefenseSweepConfig {
+  /// The attack scenario under evaluation. `base.detector` is overwritten
+  /// per operating point; leave it unset.
+  CampaignConfig base;
+  /// Detector operating points to sweep (e.g. the trust band widened step
+  /// by step). Must be non-empty.
+  std::vector<power::DetectorConfig> detectors;
+  /// Trojan placements to evaluate each operating point against. Must be
+  /// non-empty.
+  std::vector<std::vector<NodeId>> placements;
+  /// Also run a GuardedBudgeter arm per operating point (same trust band
+  /// as the detector) and report the residual attack effect Q.
+  bool evaluate_guard = true;
+  /// Also run a clean arm per operating point (Trojans implanted but kept
+  /// dormant, so traffic is honest) and report false positives.
+  bool measure_false_positives = true;
+};
+
+/// One (detector, placement) evaluation.
+struct DefenseCell {
+  std::size_t detector_index = 0;
+  std::size_t placement_index = 0;
+  /// Full campaign outcome; `outcome.detection` is this cell's report.
+  CampaignOutcome outcome;
+  double victim_flag_rate = 0.0;    ///< flagged_low / victim cores
+  double attacker_flag_rate = 0.0;  ///< flagged_high / attacker cores
+};
+
+/// The reduced curve point for one detector operating point.
+struct DefenseCurvePoint {
+  power::DetectorConfig detector;
+  /// Mean over placements of (flags / monitored cores).
+  double detection_rate = 0.0;
+  double victim_flag_rate = 0.0;
+  double attacker_flag_rate = 0.0;
+  /// Clean-traffic flags / monitored cores (0 when the arm is disabled).
+  double false_positive_rate = 0.0;
+  /// Mean epochs to the first confirmed flag over the cells that detected
+  /// anything; -1 when no cell ever flagged.
+  double mean_detection_latency = -1.0;
+  /// Mean Q over placements without mitigation (detector is passive, so
+  /// this equals the undefended attack effect).
+  double mean_q_plain = 0.0;
+  /// Mean Q with the GuardedBudgeter clamping at this operating point
+  /// (0 when the guard arm is disabled).
+  double mean_q_guarded = 0.0;
+  std::vector<DefenseCell> cells;  ///< per placement, in placement order
+};
+
+class DefenseSweep {
+ public:
+  explicit DefenseSweep(DefenseSweepConfig cfg);
+
+  /// Runs every arm through `runner`'s pool and reduces per operating
+  /// point. Deterministic: bit-identical results for any thread count.
+  [[nodiscard]] std::vector<DefenseCurvePoint> run(
+      const ParallelSweepRunner& runner) const;
+
+ private:
+  DefenseSweepConfig cfg_;
+};
+
+}  // namespace htpb::core

@@ -52,10 +52,7 @@ std::vector<CampaignOutcome> ParallelSweepRunner::run_node_sets(
     AttackCampaign& master,
     std::span<const std::vector<NodeId>> node_sets) const {
   master.prime_baseline();
-  const ParallelSweepRunner serial(1);
-  const ParallelSweepRunner& pool =
-      master.config().detector != nullptr ? serial : *this;
-  return pool.map(node_sets.size(), [&](std::size_t i) {
+  return map(node_sets.size(), [&](std::size_t i) {
     AttackCampaign clone(master);
     return clone.run(node_sets[i]);
   });

@@ -55,9 +55,10 @@ class ParallelSweepRunner {
 
   /// Full campaign outcome for every placement, fanned across the pool.
   /// The Trojan-free baseline is run once on a master campaign and shared
-  /// by every worker's clone. Falls back to serial evaluation when
-  /// `cfg.detector` is set (a shared detector is stateful and would see a
-  /// nondeterministic interleaving otherwise).
+  /// by every worker's clone. Detector-equipped (defense) sweeps go
+  /// through the same pool: each attacked run owns a fresh detector built
+  /// from `cfg.detector`, so outcomes -- detection reports included --
+  /// are bit-identical at 1 and N threads.
   [[nodiscard]] std::vector<CampaignOutcome> run_placements(
       const CampaignConfig& cfg, std::span<const Placement> placements) const;
 

@@ -6,7 +6,10 @@ namespace htpb::power {
 
 DetectorReport RequestAnomalyDetector::observe_epoch(
     std::span<const BudgetRequest> requests) {
+  const int epoch = static_cast<int>(cumulative_.epochs_observed);
+  ++cumulative_.epochs_observed;
   DetectorReport newly;
+  newly.epochs_observed = 1;
   for (const BudgetRequest& req : requests) {
     PerCore& pc = state_[req.node];
     ++cumulative_.observations;
@@ -40,7 +43,23 @@ DetectorReport RequestAnomalyDetector::observe_epoch(
     }
     ++pc.epochs_seen;
   }
+  if (newly.any()) {
+    newly.first_flag_epoch = epoch;
+    if (cumulative_.first_flag_epoch < 0) {
+      cumulative_.first_flag_epoch = epoch;
+    }
+  }
   return newly;
+}
+
+void RequestAnomalyDetector::reset() {
+  state_.clear();
+  cumulative_ = DetectorReport{};
+}
+
+std::unique_ptr<RequestAnomalyDetector> make_detector(
+    const DetectorConfig& cfg) {
+  return std::make_unique<RequestAnomalyDetector>(cfg);
 }
 
 std::vector<BudgetGrant> GuardedBudgeter::allocate(
@@ -66,6 +85,11 @@ std::vector<BudgetGrant> GuardedBudgeter::allocate(
     ++seen;
   }
   return inner_->allocate(clamped, budget_mw, floor_mw);
+}
+
+void GuardedBudgeter::reset() {
+  history_.clear();
+  epochs_.clear();
 }
 
 }  // namespace htpb::power

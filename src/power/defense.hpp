@@ -14,9 +14,17 @@
 //     core's effective request is clamped into a trust band around its
 //     history before allocation, so even unflagged tampering moves the
 //     allocation by at most the band width per epoch.
+//
+// Ownership: both components are stateful per chip lifetime. Experiment
+// code must instantiate one per simulated run (campaigns do this from
+// DetectorConfig, see core/campaign.hpp) -- sharing one instance across
+// runs contaminates every report after the first with the previous run's
+// EWMA history and cumulative flags. `reset()` exists for callers that
+// pool instances, but fresh construction per run is the intended pattern.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -38,30 +46,49 @@ struct DetectorConfig {
   int warmup_epochs = 2;
   /// Consecutive anomalous epochs before a core is reported.
   int confirm_epochs = 2;
+
+  friend bool operator==(const DetectorConfig&,
+                         const DetectorConfig&) = default;
 };
 
 struct DetectorReport {
   std::vector<NodeId> flagged_low;   ///< suspected starved victims
   std::vector<NodeId> flagged_high;  ///< suspected boosted accomplices
+  /// Individual request samples fed to the detector.
   std::uint64_t observations = 0;
+  /// Epochs the detector has watched (observe_epoch calls).
+  std::uint64_t epochs_observed = 0;
+  /// Detection latency: 0-based epoch index of the first confirmed flag,
+  /// or -1 when nothing was ever flagged.
+  int first_flag_epoch = -1;
 
   [[nodiscard]] bool any() const noexcept {
     return !flagged_low.empty() || !flagged_high.empty();
   }
+
+  friend bool operator==(const DetectorReport&,
+                         const DetectorReport&) = default;
 };
 
 class RequestAnomalyDetector {
  public:
   explicit RequestAnomalyDetector(DetectorConfig cfg = {}) : cfg_(cfg) {}
+  virtual ~RequestAnomalyDetector() = default;
 
   /// Feeds one epoch of requests (as received by the manager); returns
   /// the cores newly confirmed anomalous this epoch.
-  DetectorReport observe_epoch(std::span<const BudgetRequest> requests);
+  virtual DetectorReport observe_epoch(std::span<const BudgetRequest> requests);
+
+  /// Forgets all history, flags and epoch counters; the configuration is
+  /// kept. After reset() the detector is indistinguishable from a freshly
+  /// constructed one.
+  virtual void reset();
 
   /// All cores confirmed anomalous so far.
   [[nodiscard]] const DetectorReport& cumulative() const noexcept {
     return cumulative_;
   }
+  [[nodiscard]] const DetectorConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] double history_of(NodeId node) const {
     const auto it = state_.find(node);
     return it == state_.end() ? 0.0 : it->second.history;
@@ -82,6 +109,18 @@ class RequestAnomalyDetector {
   DetectorReport cumulative_;
 };
 
+/// Factory signature for manager-side detectors: campaigns construct one
+/// fresh instance per attacked run from the campaign's DetectorConfig.
+/// Future detector types (traffic-anomaly, telemetry cross-check, ...)
+/// plug in by overriding observe_epoch/reset and supplying a factory.
+using DetectorFactory =
+    std::function<std::unique_ptr<RequestAnomalyDetector>(
+        const DetectorConfig&)>;
+
+/// The default factory: a plain RequestAnomalyDetector.
+[[nodiscard]] std::unique_ptr<RequestAnomalyDetector> make_detector(
+    const DetectorConfig& cfg);
+
 /// Mitigation: clamp every request into [low_ratio, high_ratio] x its own
 /// history before handing it to the wrapped policy. Tampered values still
 /// shift the allocation, but only by the band width -- the attack's
@@ -95,6 +134,12 @@ class GuardedBudgeter final : public Budgeter {
   [[nodiscard]] std::vector<BudgetGrant> allocate(
       std::span<const BudgetRequest> requests, std::uint64_t budget_mw,
       std::uint32_t floor_mw) const override;
+
+  /// Forgets the per-core trust history. Like the detector, the guard is
+  /// per-chip-lifetime state: it is constructed per ManyCoreSystem (so
+  /// baseline and attacked runs never share a history), and reset() backs
+  /// that contract for any caller that keeps one alive across runs.
+  void reset();
 
   [[nodiscard]] const char* name() const noexcept override {
     return "guarded";

@@ -77,7 +77,9 @@ class GlobalManager {
   }
 
   /// Optional intrusion detector fed with every epoch's raw requests
-  /// before allocation (see power/defense.hpp). Not owned.
+  /// before allocation (see power/defense.hpp). Not owned: the campaign
+  /// that built this system owns one detector per run and keeps it alive
+  /// for the manager's lifetime (never shared across runs).
   void attach_detector(RequestAnomalyDetector* detector) noexcept {
     detector_ = detector;
   }

@@ -25,6 +25,7 @@ constexpr std::uint64_t shared_base(AppId app) {
 ManyCoreSystem::ManyCoreSystem(SystemConfig cfg,
                                std::vector<workload::Application> apps)
     : cfg_(std::move(cfg)), apps_(std::move(apps)) {
+  cfg_.validate();
   net_ = std::make_unique<noc::MeshNetwork>(
       engine_, MeshGeometry(cfg_.width, cfg_.height), cfg_.noc);
 

@@ -64,7 +64,19 @@ struct SystemConfig {
            200;
   }
 
-  /// Convenience presets for the paper's system-size sweep (64..512).
+  /// Throws std::invalid_argument when the shape or GM placement is
+  /// unusable: meshes below 2x2 (XY routing and the GM placement presets
+  /// assume a real 2D mesh) or a pinned gm_node outside the mesh.
+  /// ManyCoreSystem and AttackCampaign call this before building.
+  void validate() const;
+
+  /// Arbitrary W x H mesh (validated). Non-square shapes are first-class:
+  /// GM center/corner placement and the collect window derive from
+  /// width/height, not from an assumed square side.
+  [[nodiscard]] static SystemConfig with_mesh(int width, int height);
+
+  /// Convenience presets for the paper's system-size sweep (64..512);
+  /// delegates to with_mesh with the paper's shapes.
   [[nodiscard]] static SystemConfig with_size(int nodes);
 };
 

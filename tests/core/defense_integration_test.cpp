@@ -36,36 +36,45 @@ std::vector<NodeId> gm_cluster(const AttackCampaign& campaign, int m) {
 
 TEST(DefenseIntegration, DetectorFlagsVictimsAndAccomplices) {
   CampaignConfig cfg = base_config();
-  cfg.warmup_epochs = 4;  // give the detector honest history first?
-  // No: the Trojans are active from power-on, so the detector never sees
+  // The Trojans are active from power-on, so a detector would never see
   // honest traffic from infected paths. Use a mid-run activation instead:
   // warmup runs with the Trojan OFF via toggle (first toggle flips to ON).
-  power::RequestAnomalyDetector detector;
-  cfg.detector = &detector;
+  cfg.detector = power::DetectorConfig{};
   cfg.trojan.active = false;       // dormant at power-on
   cfg.toggle_period_epochs = 3;    // flips ON after 3 epochs
   cfg.measure_epochs = 6;
   AttackCampaign campaign(cfg);
   const auto out = campaign.run(gm_cluster(campaign, 8));
-  (void)out;
+  ASSERT_TRUE(out.detection.has_value());
   // Victims' requests collapsed 10x after the flip: flagged.
-  EXPECT_GT(detector.cumulative().flagged_low.size(), 10U);
+  EXPECT_GT(out.detection->flagged_low.size(), 10U);
   // Attacker cores' requests jumped 8x: flagged too.
-  EXPECT_GT(detector.cumulative().flagged_high.size(), 10U);
+  EXPECT_GT(out.detection->flagged_high.size(), 10U);
+  // The flip lands after epoch 3; confirmation takes confirm_epochs more.
+  EXPECT_GE(out.detection->first_flag_epoch, 3);
+  EXPECT_GT(out.detection->epochs_observed, 0U);
 }
 
 TEST(DefenseIntegration, DetectorQuietWithoutAttack) {
   CampaignConfig cfg = base_config();
-  power::RequestAnomalyDetector detector;
-  cfg.detector = &detector;
+  cfg.detector = power::DetectorConfig{};
   // One dormant Trojan so the detector is attached (detector is attached
   // on attacked runs only), but the OFF signal keeps it harmless.
   cfg.trojan.active = false;
   AttackCampaign clean(cfg);
-  (void)clean.run(gm_cluster(clean, 2));
-  EXPECT_TRUE(detector.cumulative().flagged_low.empty())
+  const auto out = clean.run(gm_cluster(clean, 2));
+  ASSERT_TRUE(out.detection.has_value());
+  EXPECT_TRUE(out.detection->flagged_low.empty())
       << "false positives on clean traffic";
-  EXPECT_TRUE(detector.cumulative().flagged_high.empty());
+  EXPECT_TRUE(out.detection->flagged_high.empty());
+  EXPECT_EQ(out.detection->first_flag_epoch, -1);
+}
+
+TEST(DefenseIntegration, NoDetectorMeansNoReport) {
+  CampaignConfig cfg = base_config();
+  AttackCampaign campaign(cfg);
+  const auto out = campaign.run(gm_cluster(campaign, 4));
+  EXPECT_FALSE(out.detection.has_value());
 }
 
 TEST(DefenseIntegration, GuardedBudgeterBluntsTheAttack) {

@@ -82,6 +82,56 @@ TEST(RequestAnomalyDetector, AnomalousSamplesDoNotPoisonHistory) {
   EXPECT_NEAR(detector.history_of(0), before, 1.0);
 }
 
+TEST(RequestAnomalyDetector, TracksEpochsAndDetectionLatency) {
+  RequestAnomalyDetector detector;
+  for (int e = 0; e < 4; ++e) (void)detector.observe_epoch(epoch({2000}));
+  EXPECT_EQ(detector.cumulative().epochs_observed, 4U);
+  EXPECT_EQ(detector.cumulative().first_flag_epoch, -1);
+  (void)detector.observe_epoch(epoch({200}));  // epoch 4: first anomaly
+  (void)detector.observe_epoch(epoch({200}));  // epoch 5: confirmed
+  EXPECT_EQ(detector.cumulative().first_flag_epoch, 5);
+  EXPECT_EQ(detector.cumulative().epochs_observed, 6U);
+}
+
+TEST(RequestAnomalyDetector, ResetRestoresFreshState) {
+  // The cross-run leak this PR fixes: a detector carried into a second
+  // run kept the first run's history and flags. reset() must make it
+  // behave exactly like a new instance.
+  RequestAnomalyDetector reused;
+  for (int e = 0; e < 4; ++e) (void)reused.observe_epoch(epoch({2000}));
+  for (int e = 0; e < 3; ++e) (void)reused.observe_epoch(epoch({200}));
+  ASSERT_TRUE(reused.cumulative().any());  // contaminated state
+  reused.reset();
+  EXPECT_FALSE(reused.cumulative().any());
+  EXPECT_EQ(reused.cumulative().observations, 0U);
+  EXPECT_EQ(reused.cumulative().epochs_observed, 0U);
+  EXPECT_EQ(reused.history_of(0), 0.0);
+
+  // Replay a second run on both the reset detector and a fresh one.
+  RequestAnomalyDetector fresh;
+  for (int e = 0; e < 4; ++e) {
+    (void)reused.observe_epoch(epoch({3000, 1000}));
+    (void)fresh.observe_epoch(epoch({3000, 1000}));
+  }
+  const auto a = reused.observe_epoch(epoch({300, 8000}));
+  const auto b = fresh.observe_epoch(epoch({300, 8000}));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reused.cumulative(), fresh.cumulative());
+}
+
+TEST(RequestAnomalyDetector, DefaultFactoryHonoursConfig) {
+  DetectorConfig cfg;
+  cfg.low_ratio = 0.9;
+  cfg.confirm_epochs = 1;
+  const auto detector = make_detector(cfg);
+  ASSERT_NE(detector, nullptr);
+  EXPECT_EQ(detector->config(), cfg);
+  for (int e = 0; e < 4; ++e) (void)detector->observe_epoch(epoch({2000}));
+  // With confirm_epochs = 1 a single 20% dip inside the 0.9 band flags.
+  const auto report = detector->observe_epoch(epoch({1600}));
+  EXPECT_EQ(report.flagged_low.size(), 1U);
+}
+
 TEST(GuardedBudgeter, ClampsTamperedRequests) {
   GuardedBudgeter guarded(make_budgeter(BudgeterKind::kProportional));
   // Build trust over several honest epochs.
@@ -113,6 +163,24 @@ TEST(GuardedBudgeter, TransparentForHonestTraffic) {
   for (std::size_t i = 0; i < g1.size(); ++i) {
     EXPECT_NEAR(static_cast<double>(g1[i].grant_mw),
                 static_cast<double>(g2[i].grant_mw), 2.0);
+  }
+}
+
+TEST(GuardedBudgeter, ResetForgetsTrustHistory) {
+  GuardedBudgeter guarded(make_budgeter(BudgeterKind::kProportional));
+  ProportionalBudgeter plain;
+  for (int e = 0; e < 6; ++e) {
+    (void)guarded.allocate(epoch({2000, 2000, 2000}), 4000, 300);
+  }
+  guarded.reset();
+  // After reset the guard is back in warmup: a wildly different epoch
+  // passes through unclamped, exactly as on a fresh instance.
+  const auto reqs = epoch({200, 16000, 2000});
+  const auto guarded_grants = guarded.allocate(reqs, 4000, 300);
+  const auto plain_grants = plain.allocate(reqs, 4000, 300);
+  ASSERT_EQ(guarded_grants.size(), plain_grants.size());
+  for (std::size_t i = 0; i < guarded_grants.size(); ++i) {
+    EXPECT_EQ(guarded_grants[i].grant_mw, plain_grants[i].grant_mw) << i;
   }
 }
 

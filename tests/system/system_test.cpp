@@ -149,6 +149,45 @@ TEST(ManyCoreSystem, WithSizePresetsMatchPaperSizes) {
   EXPECT_THROW(SystemConfig::with_size(100), std::invalid_argument);
 }
 
+TEST(ManyCoreSystem, WithMeshAcceptsArbitraryShapes) {
+  const SystemConfig wide = SystemConfig::with_mesh(10, 3);
+  EXPECT_EQ(wide.width, 10);
+  EXPECT_EQ(wide.height, 3);
+  EXPECT_EQ(wide.node_count(), 30);
+  // with_size delegates: the paper presets are the same objects.
+  const SystemConfig preset = SystemConfig::with_size(128);
+  EXPECT_EQ(preset.width, 16);
+  EXPECT_EQ(preset.height, 8);
+
+  EXPECT_THROW(SystemConfig::with_mesh(1, 8), std::invalid_argument);
+  EXPECT_THROW(SystemConfig::with_mesh(8, 0), std::invalid_argument);
+  EXPECT_THROW(SystemConfig::with_mesh(-4, 4), std::invalid_argument);
+}
+
+TEST(ManyCoreSystem, ValidateCatchesGmOutsideMesh) {
+  SystemConfig cfg = SystemConfig::with_mesh(6, 4);
+  cfg.gm_node = 23;  // last node: fine
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.gm_node = 24;  // one past the end
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ManyCoreSystem, NonSquareMeshRunsEpochsWithCenteredGm) {
+  // A 12x4 mesh: GM placement presets and the collect window must derive
+  // from width/height, not an assumed square side.
+  SystemConfig cfg = SystemConfig::with_mesh(12, 4);
+  cfg.epoch_cycles = 1500;
+  auto apps = workload::instantiate_mix(workload::standard_mixes()[0], 12);
+  workload::map_threads_round_robin(apps, cfg.node_count());
+  ManyCoreSystem sys(cfg, apps);
+  EXPECT_EQ(sys.gm_node(), sys.geometry().id_of(Coord{6, 2}));
+  sys.run_epochs(3);
+  const auto& history = sys.gm().history();
+  ASSERT_GE(history.size(), 2U);
+  EXPECT_EQ(history[1].requests_received, 48U);
+  EXPECT_LE(history[1].granted_mw, history[1].budget_mw);
+}
+
 TEST(ManyCoreSystem, CollectWindowAutoScalesWithDiameter) {
   const SystemConfig small = SystemConfig::with_size(64);
   const SystemConfig large = SystemConfig::with_size(512);
