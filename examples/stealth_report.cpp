@@ -78,22 +78,33 @@ int main(int argc, char** argv) {
   sweep_cfg.base.trojan.active = false;
   sweep_cfg.base.toggle_period_epochs = 3;
   sweep_cfg.base.measure_epochs = 6;
-  for (const auto& [lo, hi] : {std::pair{0.6, 1.6}, std::pair{0.45, 2.2},
-                               std::pair{0.25, 4.0}}) {
-    power::DetectorConfig d;
-    d.low_ratio = lo;
-    d.high_ratio = hi;
-    sweep_cfg.detectors.push_back(d);
+  // Both detector families per band: the per-core self-history EWMA and
+  // the cohort cross-check that survives attack-from-epoch-0. The
+  // detection arm costs one recorded simulation however many rows this
+  // table grows (request-trace replay).
+  for (const auto kind : {power::DetectorKind::kSelfEwma,
+                          power::DetectorKind::kCohortMedian}) {
+    for (const auto& [lo, hi] : {std::pair{0.6, 1.6}, std::pair{0.45, 2.2},
+                                 std::pair{0.25, 4.0}}) {
+      power::DetectorConfig d;
+      d.kind = kind;
+      d.low_ratio = lo;
+      d.high_ratio = hi;
+      sweep_cfg.detectors.push_back(d);
+    }
   }
   sweep_cfg.placements.push_back(placement);
   const auto curve =
       core::DefenseSweep(sweep_cfg).run(core::ParallelSweepRunner());
 
   std::printf("manager-side defense against this placement:\n");
-  std::printf("  %-13s %9s %9s %9s %9s\n", "band [lo,hi]", "detect",
-              "falsePos", "latency", "Q(guard)");
+  std::printf("  %-6s %-13s %9s %9s %9s %9s\n", "kind", "band [lo,hi]",
+              "detect", "falsePos", "latency", "Q(guard)");
   for (const auto& pt : curve) {
-    std::printf("  [%4.2f, %4.2f] %8.1f%% %8.1f%% %9.1f %9.3f\n",
+    std::printf("  %-6s [%4.2f, %4.2f] %8.1f%% %8.1f%% %9.1f %9.3f\n",
+                pt.detector.kind == power::DetectorKind::kCohortMedian
+                    ? "cohort"
+                    : "ewma",
                 pt.detector.low_ratio, pt.detector.high_ratio,
                 pt.detection_rate * 100.0, pt.false_positive_rate * 100.0,
                 pt.mean_detection_latency, pt.mean_q_guarded);

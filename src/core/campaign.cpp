@@ -1,5 +1,6 @@
 #include "core/campaign.hpp"
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -11,6 +12,9 @@
 namespace htpb::core {
 
 namespace {
+
+/// See AttackCampaign::systems_simulated().
+std::atomic<std::uint64_t> g_systems_simulated{0};
 
 /// Uniform light workload for infection-only experiments: every core runs
 /// one thread of the same moderately communicating benchmark.
@@ -59,7 +63,8 @@ AttackCampaign::AttackCampaign(CampaignConfig cfg) : cfg_(std::move(cfg)) {
 }
 
 AttackCampaign::RunResult AttackCampaign::run_system(
-    std::span<const NodeId> ht_nodes) {
+    std::span<const NodeId> ht_nodes, power::RequestTrace* trace) {
+  g_systems_simulated.fetch_add(1, std::memory_order_relaxed);
   system::ManyCoreSystem sys(cfg_.system, apps_);
 
   // The detector lives exactly as long as this run: constructed fresh
@@ -71,6 +76,20 @@ AttackCampaign::RunResult AttackCampaign::run_system(
                                      : power::make_detector(*cfg_.detector);
     sys.gm().attach_detector(detector.get());
   }
+  if (trace != nullptr) {
+    trace->epochs.clear();
+    trace->node_count = cfg_.system.node_count();
+    trace->epoch_cycles = cfg_.system.epoch_cycles;
+    sys.gm().attach_recorder(trace);
+  }
+
+  // Duty-cycle toggle state. Owned by this frame -- alive across
+  // sys.run_epochs below, gone with it -- NOT by the scheduled closures:
+  // the old wiring stored the toggle in a shared_ptr<std::function> whose
+  // closure captured that same shared_ptr by value, a reference cycle
+  // that leaked one function + TrojanConfig per duty-cycled run.
+  TrojanConfig toggle_state;
+  std::function<void()> toggle_fn;
 
   // Implant the Trojans (fab-time insertion: present before power-on).
   std::vector<std::unique_ptr<HardwareTrojan>> trojans;
@@ -108,17 +127,20 @@ AttackCampaign::RunResult AttackCampaign::run_system(
 
     if (cfg_.toggle_period_epochs > 0) {
       // Periodic ON/OFF re-broadcasts (Sec. III-B duty-cycling). The
-      // shared_ptr keeps the toggled state alive across engine events.
+      // closure re-schedules the frame-owned toggle_fn by reference
+      // (each engine event holds its own copy of the closure, never an
+      // owning handle to itself); `broadcast` is captured by value
+      // because it dies with this block.
       const Cycle period = static_cast<Cycle>(cfg_.toggle_period_epochs) *
                            cfg_.system.epoch_cycles;
-      auto state = std::make_shared<TrojanConfig>(tc);
-      auto toggle = std::make_shared<std::function<void()>>();
-      *toggle = [&sys, broadcast, state, period, toggle]() {
-        state->active = !state->active;
-        broadcast(*state);
-        sys.engine().schedule_in(period, *toggle);
+      toggle_state = tc;
+      toggle_fn = [&sys, broadcast, period, &state = toggle_state,
+                   &self = toggle_fn]() {
+        state.active = !state.active;
+        broadcast(state);
+        sys.engine().schedule_in(period, self);
       };
-      sys.engine().schedule_in(period, *toggle);
+      sys.engine().schedule_in(period, toggle_fn);
     }
   }
 
@@ -166,10 +188,33 @@ std::optional<power::DetectorReport> AttackCampaign::run_detection_only(
   return run_system(ht_nodes).detection;
 }
 
+power::RequestTrace AttackCampaign::record_trace(
+    std::span<const NodeId> ht_nodes) {
+  power::RequestTrace trace;
+  (void)run_system(ht_nodes, &trace);
+  return trace;
+}
+
+AttackCampaign::TracedRun AttackCampaign::run_traced(
+    std::span<const NodeId> ht_nodes) {
+  ensure_baseline();
+  TracedRun traced;
+  traced.outcome = reduce_outcome(run_system(ht_nodes, &traced.trace),
+                                  ht_nodes);
+  return traced;
+}
+
 CampaignOutcome AttackCampaign::run(std::span<const NodeId> ht_nodes) {
   ensure_baseline();
-  const RunResult attacked = run_system(ht_nodes);
+  return reduce_outcome(run_system(ht_nodes), ht_nodes);
+}
 
+std::uint64_t AttackCampaign::systems_simulated() noexcept {
+  return g_systems_simulated.load(std::memory_order_relaxed);
+}
+
+CampaignOutcome AttackCampaign::reduce_outcome(
+    const RunResult& attacked, std::span<const NodeId> ht_nodes) const {
   CampaignOutcome out;
   out.infection_measured = attacked.infection;
   out.trojan_totals = attacked.trojan_totals;

@@ -17,6 +17,7 @@
 #include "core/trojan.hpp"
 #include "core/trojan_config.hpp"
 #include "power/defense.hpp"
+#include "power/request_trace.hpp"
 #include "system/system_config.hpp"
 #include "workload/application.hpp"
 
@@ -102,6 +103,30 @@ class AttackCampaign {
   [[nodiscard]] std::optional<power::DetectorReport> run_detection_only(
       std::span<const NodeId> ht_nodes);
 
+  /// One attacked simulation, its per-epoch request stream captured.
+  /// Replaying `trace` through any DetectorConfig (power/request_trace.hpp)
+  /// reproduces, bit for bit, the report an in-simulation detector with
+  /// that config would have filed for this placement -- detectors are
+  /// observational, so one recording serves every operating point.
+  struct TracedRun {
+    /// Same as run()'s outcome -- detection engaged under the same rule
+    /// (a configured detector and a non-empty placement); recording never
+    /// perturbs the run, in-sim detection included.
+    CampaignOutcome outcome;
+    power::RequestTrace trace;
+  };
+
+  /// Full outcome for one placement plus the recorded request trace
+  /// (runs / reuses the cached baseline). This is the record-once half of
+  /// DefenseSweep's record-once/replay-many detection arm.
+  [[nodiscard]] TracedRun run_traced(std::span<const NodeId> ht_nodes);
+
+  /// Request trace only -- skips the baseline and the metric reduction.
+  /// Cheapest way to feed a detector grid (e.g. the clean false-positive
+  /// arm records one dormant-Trojan trace and replays every detector).
+  [[nodiscard]] power::RequestTrace record_trace(
+      std::span<const NodeId> ht_nodes);
+
   /// Baseline per-app sensitivities Phi (computed with the baseline run).
   [[nodiscard]] const std::vector<double>& baseline_phi();
 
@@ -121,6 +146,13 @@ class AttackCampaign {
     cfg_.detector = std::move(detector);
   }
 
+  /// Process-wide count of full ManyCoreSystem simulations run by any
+  /// campaign (baselines included). Monotonic, thread-safe. The trace
+  /// record/replay tests assert on deltas of this counter that a defense
+  /// sweep's detection arm simulates O(placements) times, independent of
+  /// the detector-grid size.
+  [[nodiscard]] static std::uint64_t systems_simulated() noexcept;
+
  private:
   struct RunResult {
     std::vector<double> theta;  // per app
@@ -130,7 +162,13 @@ class AttackCampaign {
     std::optional<power::DetectorReport> detection;
   };
 
-  RunResult run_system(std::span<const NodeId> ht_nodes);
+  /// Runs one simulation; when `trace` is non-null the GM records its
+  /// per-epoch request stream into it (recording never perturbs the run).
+  RunResult run_system(std::span<const NodeId> ht_nodes,
+                       power::RequestTrace* trace = nullptr);
+  /// Reduces an attacked RunResult against the cached baseline.
+  [[nodiscard]] CampaignOutcome reduce_outcome(
+      const RunResult& attacked, std::span<const NodeId> ht_nodes) const;
   void ensure_baseline();
 
   CampaignConfig cfg_;

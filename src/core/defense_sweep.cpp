@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "power/request_trace.hpp"
+
 namespace htpb::core {
 
 namespace {
@@ -41,34 +43,53 @@ std::vector<DefenseCurvePoint> DefenseSweep::run(
   const std::size_t d_count = cfg_.detectors.size();
   const std::size_t p_count = cfg_.placements.size();
 
-  // Detection arm: one master campaign (the detector does not perturb the
-  // dynamics, so every operating point shares one baseline), one clone
-  // per (detector, placement) cell, each clone's run owning its detector.
+  // Detection arm, record-once/replay-many: detectors are observational,
+  // so every operating point shares both the baseline and each
+  // placement's dynamics. One master campaign (shared baseline), one
+  // *recorded* simulation per placement, then every detector replays the
+  // placement's request trace offline -- O(placements) simulations plus
+  // O(placements x detectors) cheap replays, where the old arm
+  // re-simulated every (detector, placement) cell. Replayed reports are
+  // bit-identical to what an in-simulation detector would have filed
+  // (the request_trace contract), so the curve is unchanged.
   CampaignConfig detect_cfg = cfg_.base;
   detect_cfg.detector.reset();
   AttackCampaign master(detect_cfg);
   master.prime_baseline();
   const MonitoredCores cores = count_cores(master);
 
-  const auto attacked =
-      runner.map(d_count * p_count, [&](std::size_t i) {
-        AttackCampaign clone(master);
-        clone.set_detector(cfg_.detectors[i / p_count]);
-        return clone.run(cfg_.placements[i % p_count]);
-      });
+  const auto traced = runner.map(p_count, [&](std::size_t p) {
+    AttackCampaign clone(master);
+    return clone.run_traced(cfg_.placements[p]);
+  });
+  const auto replayed = runner.map(d_count * p_count, [&](std::size_t i) {
+    // Mirror the in-sim engagement rule: no Trojans implanted, no report.
+    if (cfg_.placements[i % p_count].empty()) {
+      return std::optional<power::DetectorReport>{};
+    }
+    return std::optional{power::replay_detector(
+        traced[i % p_count].trace, cfg_.detectors[i / p_count],
+        cfg_.base.detector_factory)};
+  });
 
   // Clean arm (false positives): Trojans implanted but dormant, so the
-  // manager sees honest traffic. No baseline needed -- detection only.
+  // manager sees honest traffic -- identical dynamics for every operating
+  // point. One dormant recording, replayed through the whole grid.
   std::vector<std::optional<power::DetectorReport>> clean;
-  if (cfg_.measure_false_positives) {
+  if (cfg_.measure_false_positives && !cfg_.placements.front().empty()) {
+    CampaignConfig clean_cfg = cfg_.base;
+    clean_cfg.detector.reset();
+    clean_cfg.trojan.active = false;
+    clean_cfg.toggle_period_epochs = 0;  // never wakes up
+    AttackCampaign clean_campaign(clean_cfg);
+    const power::RequestTrace clean_trace =
+        clean_campaign.record_trace(cfg_.placements.front());
     clean = runner.map(d_count, [&](std::size_t d) {
-      CampaignConfig clean_cfg = cfg_.base;
-      clean_cfg.detector = cfg_.detectors[d];
-      clean_cfg.trojan.active = false;
-      clean_cfg.toggle_period_epochs = 0;  // never wakes up
-      AttackCampaign campaign(clean_cfg);
-      return campaign.run_detection_only(cfg_.placements.front());
+      return std::optional{power::replay_detector(
+          clean_trace, cfg_.detectors[d], cfg_.base.detector_factory)};
     });
+  } else if (cfg_.measure_false_positives) {
+    clean.resize(d_count);  // no Trojans implanted -> no reports
   }
 
   // Guard arm: the GuardedBudgeter changes the dynamics (and therefore
@@ -105,7 +126,8 @@ std::vector<DefenseCurvePoint> DefenseSweep::run(
       DefenseCell& cell = pt.cells[p];
       cell.detector_index = d;
       cell.placement_index = p;
-      cell.outcome = attacked[d * p_count + p];
+      cell.outcome = traced[p].outcome;
+      cell.outcome.detection = replayed[d * p_count + p];
       if (cell.outcome.detection.has_value()) {
         const power::DetectorReport& rep = *cell.outcome.detection;
         if (cores.victims > 0) {
@@ -117,10 +139,10 @@ std::vector<DefenseCurvePoint> DefenseSweep::run(
               static_cast<double>(rep.flagged_high.size()) / cores.attackers;
         }
         if (cores.total() > 0) {
+          // Distinct cores only: under duty-cycle swings one core can sit
+          // in both flag lists, and summing the lists pushed this past 1.
           pt.detection_rate +=
-              static_cast<double>(rep.flagged_low.size() +
-                                  rep.flagged_high.size()) /
-              cores.total();
+              static_cast<double>(rep.unique_flagged()) / cores.total();
         }
         if (rep.first_flag_epoch >= 0) {
           latency_sum += rep.first_flag_epoch;
@@ -145,9 +167,7 @@ std::vector<DefenseCurvePoint> DefenseSweep::run(
         cores.total() > 0) {
       const power::DetectorReport& rep = *clean[d];
       pt.false_positive_rate =
-          static_cast<double>(rep.flagged_low.size() +
-                              rep.flagged_high.size()) /
-          cores.total();
+          static_cast<double>(rep.unique_flagged()) / cores.total();
     }
     if (cfg_.evaluate_guard) {
       double gq_sum = 0.0;

@@ -1,8 +1,9 @@
 // Defense-evaluation sweeps: detector operating points x Trojan
-// placements, fanned across the ParallelSweepRunner pool in one campaign
-// batch, reduced to the curves a defender actually reads off:
+// placements, reduced to the curves a defender actually reads off:
 //
-//   - detection rate      fraction of Trojan-affected cores flagged,
+//   - detection rate      fraction of Trojan-affected cores flagged
+//                         (distinct cores -- a core in both flag lists
+//                         counts once),
 //   - false-positive rate flags raised on clean traffic,
 //   - detection latency   epochs from power-on to the first confirmed flag,
 //   - Q under guard       residual attack effect when the GuardedBudgeter
@@ -13,10 +14,18 @@
 // watch detection buy false positives (and the guard trade Q for fidelity
 // to honest workload phase changes).
 //
-// Every (detector, placement) cell is an independent campaign evaluation
-// with its own per-run detector, so the whole sweep is bit-identical at
-// 1 and N threads and each cell's report is the same whether the cell is
-// evaluated alone or inside a batch.
+// Cost shape (record-once/replay-many): detectors never perturb the
+// dynamics, so the detection arm runs ONE recorded simulation per
+// placement (power::RequestTrace) and replays the trace through every
+// operating point offline; the clean arm records one dormant-Trojan
+// trace and replays the grid. Simulation count is O(placements) + 1,
+// independent of the detector-grid size -- only the guard arm, which
+// genuinely changes the dynamics, still simulates per operating point.
+// Replayed reports are bit-identical to in-simulation detection, the
+// sweep is bit-identical at 1 and N threads, and each cell's report is
+// the same whether the cell is evaluated alone or inside a batch
+// (tests/core/defense_sweep_test.cpp and trace_replay_test.cpp lock all
+// three).
 #pragma once
 
 #include <cstddef>

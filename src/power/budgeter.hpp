@@ -28,6 +28,9 @@ struct BudgetRequest {
   /// Requested power in milliwatts (the POWER_REQ payload as received --
   /// possibly tampered).
   std::uint32_t request_mw = 0;
+
+  // Request traces (power/request_trace.hpp) compare recorded epochs.
+  friend bool operator==(const BudgetRequest&, const BudgetRequest&) = default;
 };
 
 /// The manager's answer, sent back as a POWER_GRANT: the power cap the

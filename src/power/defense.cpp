@@ -4,6 +4,42 @@
 
 namespace htpb::power {
 
+std::size_t DetectorReport::unique_flagged() const {
+  std::vector<NodeId> all;
+  all.reserve(flagged_low.size() + flagged_high.size());
+  all.insert(all.end(), flagged_low.begin(), flagged_low.end());
+  all.insert(all.end(), flagged_high.begin(), flagged_high.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all.size();
+}
+
+void RequestAnomalyDetector::update_flags(FlagState& fs, NodeId node,
+                                          bool low, bool high,
+                                          DetectorReport& newly) {
+  fs.low_streak = low ? fs.low_streak + 1 : 0;
+  fs.high_streak = high ? fs.high_streak + 1 : 0;
+  if (fs.low_streak >= cfg_.confirm_epochs && !fs.reported_low) {
+    fs.reported_low = true;
+    newly.flagged_low.push_back(node);
+    cumulative_.flagged_low.push_back(node);
+  }
+  if (fs.high_streak >= cfg_.confirm_epochs && !fs.reported_high) {
+    fs.reported_high = true;
+    newly.flagged_high.push_back(node);
+    cumulative_.flagged_high.push_back(node);
+  }
+}
+
+void RequestAnomalyDetector::close_epoch(int epoch, DetectorReport& newly) {
+  if (newly.any()) {
+    newly.first_flag_epoch = epoch;
+    if (cumulative_.first_flag_epoch < 0) {
+      cumulative_.first_flag_epoch = epoch;
+    }
+  }
+}
+
 DetectorReport RequestAnomalyDetector::observe_epoch(
     std::span<const BudgetRequest> requests) {
   const int epoch = static_cast<int>(cumulative_.epochs_observed);
@@ -15,40 +51,26 @@ DetectorReport RequestAnomalyDetector::observe_epoch(
     ++cumulative_.observations;
     ++newly.observations;
     const double value = static_cast<double>(req.request_mw);
-    if (pc.epochs_seen >= cfg_.warmup_epochs && pc.history > 0.0) {
+    // Armed only after warmup_epochs positive samples (and at least one,
+    // so a band reference exists); see the arming contract in the header.
+    if (pc.samples_seen >= cfg_.warmup_epochs && pc.samples_seen > 0) {
       const bool low = value < cfg_.low_ratio * pc.history;
       const bool high = value > cfg_.high_ratio * pc.history;
-      pc.low_streak = low ? pc.low_streak + 1 : 0;
-      pc.high_streak = high ? pc.high_streak + 1 : 0;
-      if (pc.low_streak >= cfg_.confirm_epochs && !pc.reported_low) {
-        pc.reported_low = true;
-        newly.flagged_low.push_back(req.node);
-        cumulative_.flagged_low.push_back(req.node);
-      }
-      if (pc.high_streak >= cfg_.confirm_epochs && !pc.reported_high) {
-        pc.reported_high = true;
-        newly.flagged_high.push_back(req.node);
-        cumulative_.flagged_high.push_back(req.node);
-      }
+      update_flags(pc.flags, req.node, low, high, newly);
       // Anomalous samples do not poison the trusted history.
       if (!low && !high) {
         pc.history =
             (1.0 - cfg_.history_alpha) * pc.history + cfg_.history_alpha * value;
       }
-    } else {
-      pc.history = pc.history == 0.0
+    } else if (value > 0.0) {
+      pc.history = pc.samples_seen == 0
                        ? value
                        : (1.0 - cfg_.history_alpha) * pc.history +
                              cfg_.history_alpha * value;
-    }
-    ++pc.epochs_seen;
-  }
-  if (newly.any()) {
-    newly.first_flag_epoch = epoch;
-    if (cumulative_.first_flag_epoch < 0) {
-      cumulative_.first_flag_epoch = epoch;
+      ++pc.samples_seen;
     }
   }
+  close_epoch(epoch, newly);
   return newly;
 }
 
@@ -57,8 +79,72 @@ void RequestAnomalyDetector::reset() {
   cumulative_ = DetectorReport{};
 }
 
+std::size_t RequestAnomalyDetector::unarmed_cores() const {
+  std::size_t n = 0;
+  for (const auto& [node, pc] : state_) {
+    if (pc.samples_seen < cfg_.warmup_epochs || pc.samples_seen == 0) ++n;
+  }
+  return n;
+}
+
+DetectorReport CohortMedianDetector::observe_epoch(
+    std::span<const BudgetRequest> requests) {
+  const int epoch = static_cast<int>(cumulative_.epochs_observed);
+  ++cumulative_.epochs_observed;
+  DetectorReport newly;
+  newly.epochs_observed = 1;
+  cumulative_.observations += requests.size();
+  newly.observations = requests.size();
+
+  // The reference: this epoch's median over the positive requests.
+  std::vector<std::uint32_t> values;
+  values.reserve(requests.size());
+  for (const BudgetRequest& req : requests) {
+    if (req.request_mw > 0) values.push_back(req.request_mw);
+  }
+  if (values.size() < kMinCohort) {
+    close_epoch(epoch, newly);
+    return newly;  // too thin a cohort to judge anyone by
+  }
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double median = static_cast<double>(values[mid]);
+  if (values.size() % 2 == 0) {
+    // Lower middle: the largest element below the nth.
+    const auto lower =
+        *std::max_element(values.begin(), values.begin() + mid);
+    median = (median + static_cast<double>(lower)) / 2.0;
+  }
+
+  for (const BudgetRequest& req : requests) {
+    // Zero-valued (idle) samples are not cohort members and are never
+    // judged: with no per-core history there is nothing to say an idle
+    // core is anomalous. (Different from an ARMED self-history core,
+    // where a collapse to zero against the core's own past is exactly
+    // the attenuation signature and is flagged.)
+    if (req.request_mw == 0) continue;
+    const double value = static_cast<double>(req.request_mw);
+    const bool low = value < cfg_.low_ratio * median;
+    const bool high = value > cfg_.high_ratio * median;
+    update_flags(state_[req.node], req.node, low, high, newly);
+  }
+  close_epoch(epoch, newly);
+  return newly;
+}
+
+void CohortMedianDetector::reset() {
+  state_.clear();
+  cumulative_ = DetectorReport{};
+}
+
 std::unique_ptr<RequestAnomalyDetector> make_detector(
     const DetectorConfig& cfg) {
+  switch (cfg.kind) {
+    case DetectorKind::kCohortMedian:
+      return std::make_unique<CohortMedianDetector>(cfg);
+    case DetectorKind::kSelfEwma:
+      break;
+  }
   return std::make_unique<RequestAnomalyDetector>(cfg);
 }
 
@@ -68,28 +154,30 @@ std::vector<BudgetGrant> GuardedBudgeter::allocate(
   std::vector<BudgetRequest> clamped(requests.begin(), requests.end());
   for (BudgetRequest& req : clamped) {
     double& hist = history_[req.node];
-    int& seen = epochs_[req.node];
+    int& seen = samples_[req.node];
     const double value = static_cast<double>(req.request_mw);
-    if (seen >= cfg_.warmup_epochs && hist > 0.0) {
+    // Same arming contract as the detector: judge (here: clamp) only
+    // after warmup_epochs positive samples; zeros neither arm nor decay.
+    if (seen >= cfg_.warmup_epochs && seen > 0) {
       const double lo = cfg_.low_ratio * hist;
       const double hi = cfg_.high_ratio * hist;
       const double used = std::clamp(value, lo, hi);
       req.request_mw = static_cast<std::uint32_t>(used);
       // Track the clamped (trusted) value, not the raw one.
       hist = (1.0 - cfg_.history_alpha) * hist + cfg_.history_alpha * used;
-    } else {
-      hist = hist == 0.0 ? value
-                         : (1.0 - cfg_.history_alpha) * hist +
-                               cfg_.history_alpha * value;
+    } else if (value > 0.0) {
+      hist = seen == 0 ? value
+                       : (1.0 - cfg_.history_alpha) * hist +
+                             cfg_.history_alpha * value;
+      ++seen;
     }
-    ++seen;
   }
   return inner_->allocate(clamped, budget_mw, floor_mw);
 }
 
 void GuardedBudgeter::reset() {
   history_.clear();
-  epochs_.clear();
+  samples_.clear();
 }
 
 }  // namespace htpb::power

@@ -1,26 +1,37 @@
 // Defender-side counterparts to the attack -- the "more research on
 // detection and protection" the paper's conclusion calls for.
 //
-// Two mechanisms, both deployable at the global manager (the one place
-// the false data converges):
+// Detection mechanisms, all deployable at the global manager (the one
+// place the false data converges), all purely observational (they never
+// perturb the dynamics -- which is what makes request-trace record/replay
+// sound, see power/request_trace.hpp):
 //
-//  1. RequestAnomalyDetector -- per-core exponentially weighted history of
-//     request values. A request that collapses far below its own history
-//     (victim attenuation) or explodes far above it (accomplice boost) is
-//     flagged. The Trojan cannot evade this without reducing its
-//     modification factor, which proportionally weakens the attack.
+//  1. RequestAnomalyDetector (DetectorKind::kSelfEwma) -- per-core
+//     exponentially weighted history of request values. A request that
+//     collapses far below its own history (victim attenuation) or
+//     explodes far above it (accomplice boost) is flagged. The Trojan
+//     cannot evade this without reducing its modification factor, which
+//     proportionally weakens the attack. Blind spot: a core whose very
+//     first samples are already tampered anchors its history to the
+//     attacked level and is never flagged (attack-from-epoch-0).
 //
-//  2. GuardedBudgeter -- a mitigation wrapper around any Budgeter: each
+//  2. CohortMedianDetector (DetectorKind::kCohortMedian) -- cross-checks
+//     each core against the same epoch's population median instead of the
+//     core's own past. Needs no warmup history, so it catches
+//     attack-from-epoch-0 streams that defeat the self-history EWMA; the
+//     price is false positives on genuinely heterogeneous workloads.
+//
+//  3. GuardedBudgeter -- a mitigation wrapper around any Budgeter: each
 //     core's effective request is clamped into a trust band around its
 //     history before allocation, so even unflagged tampering moves the
 //     allocation by at most the band width per epoch.
 //
-// Ownership: both components are stateful per chip lifetime. Experiment
+// Ownership: all components are stateful per chip lifetime. Experiment
 // code must instantiate one per simulated run (campaigns do this from
 // DetectorConfig, see core/campaign.hpp) -- sharing one instance across
 // runs contaminates every report after the first with the previous run's
-// EWMA history and cumulative flags. `reset()` exists for callers that
-// pool instances, but fresh construction per run is the intended pattern.
+// history and cumulative flags. `reset()` exists for callers that pool
+// instances, but fresh construction per run is the intended pattern.
 #pragma once
 
 #include <cstdint>
@@ -35,14 +46,28 @@
 
 namespace htpb::power {
 
+/// Detector families behind `make_detector` (the "detector zoo"; see the
+/// table in docs/ARCHITECTURE.md §6). Part of DetectorConfig so sweep
+/// axes can mix families and trust bands freely.
+enum class DetectorKind : std::uint8_t {
+  kSelfEwma,      ///< per-core EWMA self-history (RequestAnomalyDetector)
+  kCohortMedian,  ///< per-epoch population median (CohortMedianDetector)
+};
+
 struct DetectorConfig {
-  /// Smoothing of the per-core request history.
+  /// Which detector family `make_detector` builds.
+  DetectorKind kind = DetectorKind::kSelfEwma;
+  /// Smoothing of the per-core request history (kSelfEwma only).
   double history_alpha = 0.25;
-  /// Flag when request < low_ratio * history (victim attenuation).
+  /// Flag when request < low_ratio * reference (victim attenuation).
+  /// The reference is the core's own history (kSelfEwma) or the epoch
+  /// median (kCohortMedian).
   double low_ratio = 0.45;
-  /// Flag when request > high_ratio * history (accomplice boost).
+  /// Flag when request > high_ratio * reference (accomplice boost).
   double high_ratio = 2.2;
-  /// Epochs of history required before flagging (cold-start guard).
+  /// kSelfEwma: positive samples of history required before a core is
+  /// judged (cold-start guard). kCohortMedian needs no history and
+  /// ignores this (that is the point of a cross-sectional reference).
   int warmup_epochs = 2;
   /// Consecutive anomalous epochs before a core is reported.
   int confirm_epochs = 2;
@@ -66,10 +91,34 @@ struct DetectorReport {
     return !flagged_low.empty() || !flagged_high.empty();
   }
 
+  /// |flagged_low UNION flagged_high|: the number of distinct cores
+  /// flagged. Under duty-cycle swings one core can land in both lists;
+  /// rate reductions must divide this, not the summed list sizes, or the
+  /// "fraction of cores flagged" exceeds 1.
+  [[nodiscard]] std::size_t unique_flagged() const;
+
   friend bool operator==(const DetectorReport&,
                          const DetectorReport&) = default;
 };
 
+/// Self-history detector (DetectorKind::kSelfEwma) and the base class of
+/// every manager-side detector.
+///
+/// Arming contract (per core): a core is judged only after
+/// `warmup_epochs` *positive* samples have seeded its history (and at
+/// least one, so a band reference exists). Zero-valued samples neither
+/// advance warmup nor decay the history -- an idle core stays in warmup
+/// rather than silently draining its trust band toward zero. In
+/// particular a core that idles through the global warmup and wakes late
+/// gets the same seeded warmup as everyone else instead of having its
+/// first live sample -- possibly already Trojan-attenuated -- trusted
+/// verbatim with no anomaly check. Once a core IS armed, every sample is
+/// judged -- including zeros: a collapse to zero against the core's own
+/// past is exactly the attenuation signature. (A stream attacked from
+/// its very first sample still anchors the band to the attacked level;
+/// no self-history scheme can tell, which is what CohortMedianDetector
+/// is for.) Cores still in warmup are not silent: `unarmed_cores()`
+/// counts them for the defender.
 class RequestAnomalyDetector {
  public:
   explicit RequestAnomalyDetector(DetectorConfig cfg = {}) : cfg_(cfg) {}
@@ -84,6 +133,12 @@ class RequestAnomalyDetector {
   /// constructed one.
   virtual void reset();
 
+  /// Cores observed but not yet armed (still inside their per-core
+  /// warmup). Always-idle cores live here forever -- visible to the
+  /// defender instead of silently unmonitored. Cross-sectional detectors
+  /// (cohort) arm immediately and return 0.
+  [[nodiscard]] virtual std::size_t unarmed_cores() const;
+
   /// All cores confirmed anomalous so far.
   [[nodiscard]] const DetectorReport& cumulative() const noexcept {
     return cumulative_;
@@ -94,37 +149,84 @@ class RequestAnomalyDetector {
     return it == state_.end() ? 0.0 : it->second.history;
   }
 
- private:
-  struct PerCore {
-    double history = 0.0;
-    int epochs_seen = 0;
+ protected:
+  /// Shared bookkeeping for subclasses: streak/report-once flag logic
+  /// writing into `cumulative_` and the per-epoch `newly` report.
+  struct FlagState {
     int low_streak = 0;
     int high_streak = 0;
     bool reported_low = false;
     bool reported_high = false;
   };
+  void update_flags(FlagState& fs, NodeId node, bool low, bool high,
+                    DetectorReport& newly);
+  /// Stamps first_flag_epoch on `newly` and the cumulative report.
+  void close_epoch(int epoch, DetectorReport& newly);
 
   DetectorConfig cfg_;
-  std::unordered_map<NodeId, PerCore> state_;
   DetectorReport cumulative_;
+
+ private:
+  struct PerCore {
+    double history = 0.0;
+    /// Positive samples absorbed so far; the arming gate compares this
+    /// against warmup_epochs (see the class comment).
+    int samples_seen = 0;
+    FlagState flags;
+  };
+
+  std::unordered_map<NodeId, PerCore> state_;
+};
+
+/// Cross-sectional detector (DetectorKind::kCohortMedian): flags a core
+/// whose request sits outside [low_ratio, high_ratio] x the epoch median
+/// of all positive requests for `confirm_epochs` consecutive epochs.
+/// Because the reference is this epoch's population -- not the core's
+/// past -- it needs no warmup and catches streams tampered from the very
+/// first sample (attack-from-epoch-0), where the self-history EWMA is
+/// blind by construction. Limitations: a minority view (epochs with fewer
+/// than kMinCohort positive samples are skipped), and honest workload
+/// heterogeneity wider than the band reads as anomalous -- the
+/// false-positive arm of the ROC sweep prices that in.
+class CohortMedianDetector final : public RequestAnomalyDetector {
+ public:
+  explicit CohortMedianDetector(DetectorConfig cfg)
+      : RequestAnomalyDetector(cfg) {}
+
+  /// Below this many positive samples a median is too thin to judge by;
+  /// the epoch is observed (counters advance) but nobody is flagged.
+  static constexpr std::size_t kMinCohort = 4;
+
+  DetectorReport observe_epoch(
+      std::span<const BudgetRequest> requests) override;
+  void reset() override;
+  /// Cohort judgment needs no per-core warmup.
+  [[nodiscard]] std::size_t unarmed_cores() const override { return 0; }
+
+ private:
+  std::unordered_map<NodeId, FlagState> state_;
 };
 
 /// Factory signature for manager-side detectors: campaigns construct one
-/// fresh instance per attacked run from the campaign's DetectorConfig.
-/// Future detector types (traffic-anomaly, telemetry cross-check, ...)
-/// plug in by overriding observe_epoch/reset and supplying a factory.
+/// fresh instance per attacked run from the campaign's DetectorConfig,
+/// and trace replays (power/request_trace.hpp) one per replay. Exotic
+/// detector types plug in by overriding observe_epoch/reset and
+/// supplying a factory; the stock zoo is reachable without a factory via
+/// DetectorConfig::kind.
 using DetectorFactory =
     std::function<std::unique_ptr<RequestAnomalyDetector>(
         const DetectorConfig&)>;
 
-/// The default factory: a plain RequestAnomalyDetector.
+/// The default factory: dispatches on cfg.kind over the stock detectors.
 [[nodiscard]] std::unique_ptr<RequestAnomalyDetector> make_detector(
     const DetectorConfig& cfg);
 
 /// Mitigation: clamp every request into [low_ratio, high_ratio] x its own
 /// history before handing it to the wrapped policy. Tampered values still
 /// shift the allocation, but only by the band width -- the attack's
-/// leverage collapses from ~10x to the band ratio.
+/// leverage collapses from ~10x to the band ratio. Arming follows the
+/// same positive-samples contract as RequestAnomalyDetector: zero-valued
+/// requests neither advance a core's warmup nor decay its trust history.
 class GuardedBudgeter final : public Budgeter {
  public:
   GuardedBudgeter(std::unique_ptr<Budgeter> inner,
@@ -151,7 +253,7 @@ class GuardedBudgeter final : public Budgeter {
   // Allocation history evolves across calls; allocate() is logically const
   // for the Budgeter interface but the guard's memory must persist.
   mutable std::unordered_map<NodeId, double> history_;
-  mutable std::unordered_map<NodeId, int> epochs_;
+  mutable std::unordered_map<NodeId, int> samples_;
 };
 
 }  // namespace htpb::power

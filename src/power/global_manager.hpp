@@ -13,6 +13,7 @@
 #include "noc/network.hpp"
 #include "power/budgeter.hpp"
 #include "power/defense.hpp"
+#include "power/request_trace.hpp"
 
 namespace htpb::power {
 
@@ -20,6 +21,8 @@ namespace htpb::power {
 /// for the paper's infection rate).
 struct EpochRecord {
   Cycle epoch_start = 0;
+  /// Cycle the collection window closed (allocate_and_reply ran).
+  Cycle allocate_cycle = 0;
   std::uint64_t requests_received = 0;
   std::uint64_t tampered_received = 0;
   /// Requests from victim (non-attacker) applications -- the population
@@ -84,10 +87,24 @@ class GlobalManager {
     detector_ = detector;
   }
 
+  /// Optional request-trace recorder: appends one TraceEpoch per epoch
+  /// with exactly the request vector an attached detector would observe
+  /// (empty epochs included), so an offline replay is bit-identical to
+  /// in-simulation detection. Not owned; like the detector, the caller
+  /// keeps the trace alive for the manager's lifetime. Recording is
+  /// purely observational -- it never perturbs collection or allocation.
+  void attach_recorder(RequestTrace* trace) noexcept { recorder_ = trace; }
+
   /// Closes the window, runs the allocator and sends one POWER_GRANT per
-  /// requester. Returns the closed epoch's record.
-  EpochRecord allocate_and_reply() {
+  /// requester. `now` is the closing cycle, kept as epoch metadata (and
+  /// in the trace, when recording). Returns the closed epoch's record.
+  EpochRecord allocate_and_reply(Cycle now) {
     collecting_ = false;
+    current_.allocate_cycle = now;
+    if (recorder_ != nullptr) {
+      recorder_->epochs.push_back(
+          TraceEpoch{current_.epoch_start, now, budget_mw_, pending_});
+    }
     if (detector_ != nullptr) detector_->observe_epoch(pending_);
     const auto grants = budgeter_->allocate(pending_, budget_mw_, floor_mw_);
     for (const BudgetGrant& g : grants) {
@@ -124,6 +141,7 @@ class GlobalManager {
   std::uint32_t floor_mw_;
   std::function<bool(AppId)> is_attacker_;
   RequestAnomalyDetector* detector_ = nullptr;
+  RequestTrace* recorder_ = nullptr;
   bool collecting_ = false;
   std::vector<BudgetRequest> pending_;
   EpochRecord current_;

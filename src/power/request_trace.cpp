@@ -1,0 +1,16 @@
+#include "power/request_trace.hpp"
+
+namespace htpb::power {
+
+DetectorReport replay_detector(const RequestTrace& trace,
+                               const DetectorConfig& cfg,
+                               const DetectorFactory& factory) {
+  const std::unique_ptr<RequestAnomalyDetector> detector =
+      factory ? factory(cfg) : make_detector(cfg);
+  for (const TraceEpoch& epoch : trace.epochs) {
+    (void)detector->observe_epoch(epoch.requests);
+  }
+  return detector->cumulative();
+}
+
+}  // namespace htpb::power

@@ -83,7 +83,7 @@ ManyCoreSystem::ManyCoreSystem(SystemConfig cfg,
 
   engine_.add_tickable(this);  // cores tick after the network
   instr_snapshot_.assign(tiles_.size(), 0.0);
-  next_epoch_start_ = 10;  // small offset so cycle-0 events settle first
+  next_epoch_start_ = cfg_.first_epoch_cycle;
   schedule_next_epoch();
 }
 
@@ -197,7 +197,7 @@ void ManyCoreSystem::begin_epoch() {
     net_->send(std::move(pkt));
   }
   engine_.schedule_in(cfg_.resolved_collect_window(),
-                      [this] { gm_->allocate_and_reply(); });
+                      [this] { gm_->allocate_and_reply(engine_.now()); });
 }
 
 void ManyCoreSystem::schedule_next_epoch() {

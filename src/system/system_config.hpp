@@ -47,6 +47,11 @@ struct SystemConfig {
   Cycle epoch_cycles = 2000;
   /// 0 = auto: scaled with mesh diameter at build time.
   Cycle collect_window = 0;
+  /// Cycle of the first budgeting epoch (power-on settle time). The
+  /// default leaves just enough room for cycle-0 events; raise it when an
+  /// experiment needs the attacker's CONFIG_CMD broadcast to complete
+  /// before the first POWER_REQ flies (attack-from-epoch-0 scenarios).
+  Cycle first_epoch_cycle = 10;
 
   GmPlacement gm_placement = GmPlacement::kCenter;
   /// Overrides gm_placement when set.

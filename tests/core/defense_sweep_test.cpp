@@ -204,6 +204,95 @@ TEST(DefenseSweep, ReducesToSensibleRatesAndCurveShape) {
   EXPECT_GT(curve[0].mean_q_guarded, 0.0);
 }
 
+// The record-once/replay-many refactor contract: the sweep's cells --
+// outcomes AND detection reports -- are bit-identical to the pre-refactor
+// detection arm, which re-simulated every (detector, placement) cell with
+// its own in-simulation detector. Reproduced inline here as the reference.
+TEST(DefenseSweep, MatchesPerCellResimulation) {
+  DefenseSweepConfig sweep_cfg;
+  sweep_cfg.base = defended_config();
+  sweep_cfg.base.detector.reset();
+  power::DetectorConfig tight;
+  tight.low_ratio = 0.6;
+  tight.high_ratio = 1.6;
+  power::DetectorConfig cohort;
+  cohort.kind = power::DetectorKind::kCohortMedian;
+  sweep_cfg.detectors = {tight, cohort};
+  sweep_cfg.placements = test_placements(sweep_cfg.base);
+  sweep_cfg.placements.pop_back();
+  sweep_cfg.evaluate_guard = false;  // unchanged by the refactor
+  const ParallelSweepRunner runner(4);
+
+  const auto curve = DefenseSweep(sweep_cfg).run(runner);
+  ASSERT_EQ(curve.size(), sweep_cfg.detectors.size());
+
+  // Pre-refactor detection arm: one re-simulation per cell.
+  CampaignConfig detect_cfg = sweep_cfg.base;
+  detect_cfg.detector.reset();
+  AttackCampaign master(detect_cfg);
+  master.prime_baseline();
+  for (std::size_t d = 0; d < sweep_cfg.detectors.size(); ++d) {
+    for (std::size_t p = 0; p < sweep_cfg.placements.size(); ++p) {
+      AttackCampaign clone(master);
+      clone.set_detector(sweep_cfg.detectors[d]);
+      const CampaignOutcome reference = clone.run(sweep_cfg.placements[p]);
+      expect_outcomes_identical(curve[d].cells[p].outcome, reference,
+                                "cell " + std::to_string(d) + "," +
+                                    std::to_string(p));
+    }
+    // Pre-refactor clean arm: one re-simulation per operating point.
+    CampaignConfig clean_cfg = sweep_cfg.base;
+    clean_cfg.detector = sweep_cfg.detectors[d];
+    clean_cfg.trojan.active = false;
+    clean_cfg.toggle_period_epochs = 0;
+    AttackCampaign clean(clean_cfg);
+    const auto clean_report =
+        clean.run_detection_only(sweep_cfg.placements.front());
+    ASSERT_TRUE(clean_report.has_value());
+    int monitored = 0;
+    for (const auto& app : master.apps()) {
+      monitored += static_cast<int>(app.cores.size());
+    }
+    EXPECT_EQ(curve[d].false_positive_rate,
+              static_cast<double>(clean_report->unique_flagged()) / monitored);
+  }
+}
+
+// Regression for the detection-rate double count: rates are fractions of
+// distinct flagged cores and can never exceed 1, even when duty-cycle
+// swings land a core in both flag lists.
+TEST(DefenseSweep, DetectionRateIsAFractionOfDistinctCores) {
+  DefenseSweepConfig sweep_cfg;
+  sweep_cfg.base = defended_config();
+  sweep_cfg.base.detector.reset();
+  // A band so tight the duty-cycled Trojan's ON and OFF phases both leave
+  // it -- the dual-flag (low AND high) scenario that used to double count.
+  power::DetectorConfig paranoid;
+  paranoid.low_ratio = 0.95;
+  paranoid.high_ratio = 1.05;
+  paranoid.confirm_epochs = 1;
+  sweep_cfg.detectors = {paranoid};
+  sweep_cfg.placements = {test_placements(sweep_cfg.base).front()};
+  sweep_cfg.evaluate_guard = false;
+  const auto curve = DefenseSweep(sweep_cfg).run(ParallelSweepRunner(2));
+
+  ASSERT_EQ(curve.size(), 1U);
+  ASSERT_TRUE(curve[0].cells[0].outcome.detection.has_value());
+  const power::DetectorReport& rep = *curve[0].cells[0].outcome.detection;
+  // The scenario is live: at least one core sits in both lists.
+  std::size_t dual = 0;
+  for (const NodeId n : rep.flagged_low) {
+    for (const NodeId m : rep.flagged_high) {
+      if (n == m) ++dual;
+    }
+  }
+  EXPECT_GT(dual, 0U);
+  EXPECT_LT(rep.unique_flagged(),
+            rep.flagged_low.size() + rep.flagged_high.size());
+  EXPECT_LE(curve[0].detection_rate, 1.0);
+  EXPECT_GT(curve[0].detection_rate, 0.0);
+}
+
 TEST(DefenseSweep, RejectsEmptyAxes) {
   DefenseSweepConfig no_detectors;
   no_detectors.base = defended_config();

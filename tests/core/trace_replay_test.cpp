@@ -1,0 +1,211 @@
+// The record/replay contract this PR exists for:
+//  1. Replay equivalence -- for any placement and DetectorConfig (and any
+//     DetectorKind), replaying a recorded RequestTrace produces a
+//     DetectorReport bit-identical to the report an in-simulation
+//     detector would have filed for the same run.
+//  2. Cost shape -- the DefenseSweep detection arm simulates O(placements)
+//     systems, independent of the detector-grid size (asserted via the
+//     AttackCampaign::systems_simulated counting hook).
+//  3. Attack-from-epoch-0 -- a Trojan live before the detector's warmup
+//     completes: the self-history EWMA anchors to the attacked level and
+//     misses it; the cohort-median detector catches it from the same
+//     trace.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/defense_sweep.hpp"
+#include "core/parallel_sweep.hpp"
+#include "core/placement.hpp"
+#include "power/request_trace.hpp"
+#include "workload/application.hpp"
+
+namespace htpb::core {
+namespace {
+
+CampaignConfig base_config() {
+  CampaignConfig cfg;
+  cfg.system = system::SystemConfig::with_size(64);
+  cfg.system.epoch_cycles = 1000;
+  cfg.mix = workload::standard_mixes().at(0);
+  cfg.trojan.victim_scale = 0.10;
+  cfg.trojan.attacker_boost = 8.0;
+  // Mid-run activation: honest history first, then the Trojans wake up.
+  cfg.trojan.active = false;
+  cfg.toggle_period_epochs = 2;
+  cfg.warmup_epochs = 1;
+  cfg.measure_epochs = 4;
+  cfg.detector = power::DetectorConfig{};
+  return cfg;
+}
+
+std::vector<std::vector<NodeId>> placements_for(const CampaignConfig& cfg) {
+  const MeshGeometry geom(cfg.system.width, cfg.system.height);
+  const AttackCampaign probe(cfg);
+  const NodeId gm = probe.gm_node();
+  return {
+      clustered_placement(geom, 8, geom.coord_of(gm), gm),
+      clustered_placement(geom, 4, MeshGeometry::corner(), gm),
+  };
+}
+
+TEST(TraceReplay, ReplayBitIdenticalToInSimulationDetection) {
+  const CampaignConfig cfg = base_config();
+  const auto placements = placements_for(cfg);
+
+  // Operating points spanning bands and both detector families.
+  std::vector<power::DetectorConfig> detectors;
+  for (const auto& [lo, hi] : {std::pair{0.6, 1.6}, std::pair{0.3, 3.0}}) {
+    power::DetectorConfig d;
+    d.low_ratio = lo;
+    d.high_ratio = hi;
+    detectors.push_back(d);
+    d.kind = power::DetectorKind::kCohortMedian;
+    detectors.push_back(d);
+  }
+
+  for (const auto& placement : placements) {
+    // Record once per placement, detector-free.
+    CampaignConfig record_cfg = cfg;
+    record_cfg.detector.reset();
+    AttackCampaign recorder(record_cfg);
+    const power::RequestTrace trace = recorder.record_trace(placement);
+    ASSERT_FALSE(trace.empty());
+    EXPECT_EQ(trace.node_count, 64);
+    EXPECT_EQ(trace.epoch_cycles, 1000U);
+
+    bool any_flag = false;
+    for (const power::DetectorConfig& d : detectors) {
+      // The expensive reference: a fresh simulation with the detector
+      // attached in-sim.
+      CampaignConfig in_sim_cfg = cfg;
+      in_sim_cfg.detector = d;
+      AttackCampaign in_sim(in_sim_cfg);
+      const auto reference = in_sim.run_detection_only(placement);
+      ASSERT_TRUE(reference.has_value());
+
+      const power::DetectorReport replayed = power::replay_detector(trace, d);
+      EXPECT_EQ(replayed, *reference);
+      any_flag = any_flag || replayed.any();
+    }
+    // The equivalence must not be vacuous.
+    EXPECT_TRUE(any_flag);
+  }
+}
+
+TEST(TraceReplay, TracedRunMatchesPlainRunAndRecordTrace) {
+  const CampaignConfig cfg = base_config();
+  const auto placement = placements_for(cfg).front();
+
+  AttackCampaign a(cfg);
+  AttackCampaign b(cfg);
+  const auto traced = a.run_traced(placement);
+  const CampaignOutcome plain = b.run(placement);
+
+  // Recording is observational: the traced outcome matches a plain run
+  // in every metric. run_traced engages the configured in-sim detector
+  // under the same rule as run(), so detection matches too (asserted
+  // below) -- the trace is an additional output, not a replacement.
+  EXPECT_EQ(traced.outcome.infection_measured, plain.infection_measured);
+  EXPECT_EQ(traced.outcome.q_valid, plain.q_valid);
+  EXPECT_EQ(traced.outcome.q, plain.q);
+  ASSERT_EQ(traced.outcome.apps.size(), plain.apps.size());
+  for (std::size_t i = 0; i < plain.apps.size(); ++i) {
+    EXPECT_EQ(traced.outcome.apps[i].theta_attacked,
+              plain.apps[i].theta_attacked);
+    EXPECT_EQ(traced.outcome.apps[i].change, plain.apps[i].change);
+  }
+  // The configured detector engages in both runs identically, and the
+  // trace replayed through the same config reproduces that report bit
+  // for bit -- recording perturbs nothing, in-sim detection included.
+  ASSERT_TRUE(traced.outcome.detection.has_value());
+  ASSERT_TRUE(plain.detection.has_value());
+  EXPECT_EQ(*traced.outcome.detection, *plain.detection);
+  EXPECT_EQ(power::replay_detector(traced.trace, *cfg.detector),
+            *plain.detection);
+
+  // record_trace (baseline-free) captures the identical stream.
+  AttackCampaign c(cfg);
+  EXPECT_EQ(c.record_trace(placement), traced.trace);
+}
+
+TEST(TraceReplay, DetectionArmSimulationCountIsPlacementBound) {
+  DefenseSweepConfig sweep_cfg;
+  sweep_cfg.base = base_config();
+  sweep_cfg.base.detector.reset();
+  sweep_cfg.evaluate_guard = false;  // the guard genuinely perturbs; exclude
+  sweep_cfg.measure_false_positives = true;
+  sweep_cfg.placements = placements_for(sweep_cfg.base);
+  const ParallelSweepRunner runner(2);
+
+  const auto run_with_grid = [&](std::size_t grid) {
+    sweep_cfg.detectors.clear();
+    for (std::size_t i = 0; i < grid; ++i) {
+      power::DetectorConfig d;
+      d.low_ratio = 0.2 + 0.1 * static_cast<double>(i);
+      sweep_cfg.detectors.push_back(d);
+    }
+    const std::uint64_t before = AttackCampaign::systems_simulated();
+    const auto curve = DefenseSweep(sweep_cfg).run(runner);
+    EXPECT_EQ(curve.size(), grid);
+    return AttackCampaign::systems_simulated() - before;
+  };
+
+  // 1 shared baseline + |placements| recorded runs + 1 clean recording,
+  // whatever the detector-grid size.
+  const std::uint64_t expected = 1 + sweep_cfg.placements.size() + 1;
+  EXPECT_EQ(run_with_grid(2), expected);
+  EXPECT_EQ(run_with_grid(6), expected);
+}
+
+TEST(TraceReplay, EpochZeroAttackMissedByEwmaCaughtByCohort) {
+  CampaignConfig cfg = base_config();
+  // The Trojan is live at power-on and the CONFIG_CMD broadcast completes
+  // before the first POWER_REQ flies: every sample the detector ever sees
+  // from a covered victim is already attenuated.
+  cfg.trojan.active = true;
+  cfg.toggle_period_epochs = 0;
+  cfg.system.first_epoch_cycle = 600;
+  cfg.detector.reset();
+
+  const MeshGeometry geom(cfg.system.width, cfg.system.height);
+  const AttackCampaign probe(cfg);
+  const auto placement = clustered_placement(
+      geom, 8, geom.coord_of(probe.gm_node()), probe.gm_node());
+
+  AttackCampaign campaign(cfg);
+  const power::RequestTrace trace = campaign.record_trace(placement);
+  ASSERT_FALSE(trace.empty());
+
+  power::DetectorConfig ewma;  // kSelfEwma defaults
+  power::DetectorConfig cohort;
+  cohort.kind = power::DetectorKind::kCohortMedian;
+
+  const power::DetectorReport ewma_report =
+      power::replay_detector(trace, ewma);
+  const power::DetectorReport cohort_report =
+      power::replay_detector(trace, cohort);
+
+  // Self-history EWMA: the attacked cores' histories are anchored to the
+  // attenuated level from their first sample -- nothing ever crosses the
+  // band. The documented blind spot.
+  EXPECT_TRUE(ewma_report.flagged_low.empty());
+  // Cohort median: the attenuated minority sits ~10x below the epoch
+  // median from epoch 0 and is confirmed within confirm_epochs.
+  EXPECT_FALSE(cohort_report.flagged_low.empty());
+  EXPECT_GE(cohort_report.first_flag_epoch, 0);
+  EXPECT_LE(cohort_report.first_flag_epoch, 2);
+
+  // In-sim cross-check: a campaign running the cohort detector live
+  // surfaces the identical report.
+  CampaignConfig in_sim_cfg = cfg;
+  in_sim_cfg.detector = cohort;
+  AttackCampaign in_sim(in_sim_cfg);
+  const auto live = in_sim.run_detection_only(placement);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_EQ(*live, cohort_report);
+}
+
+}  // namespace
+}  // namespace htpb::core

@@ -132,6 +132,154 @@ TEST(RequestAnomalyDetector, DefaultFactoryHonoursConfig) {
   EXPECT_EQ(report.flagged_low.size(), 1U);
 }
 
+TEST(RequestAnomalyDetector, ZeroSamplesNeitherArmNorDecayHistory) {
+  // Arming contract: zero-valued requests must not advance a core's
+  // warmup (the old epochs_seen gate armed on them) and must not drag an
+  // in-warmup history toward zero through the EWMA.
+  RequestAnomalyDetector detector;
+  (void)detector.observe_epoch(epoch({2000}));  // one positive seed
+  for (int e = 0; e < 6; ++e) (void)detector.observe_epoch(epoch({0}));
+  EXPECT_EQ(detector.history_of(0), 2000.0);  // not decayed
+  EXPECT_EQ(detector.unarmed_cores(), 1U);    // still in warmup
+  // Wakes at a wildly different level: still inside warmup, so no
+  // instant verbatim trust -- and no flag either way yet.
+  const auto report = detector.observe_epoch(epoch({200}));
+  EXPECT_FALSE(report.any());
+}
+
+TEST(RequestAnomalyDetector, LateColdStartGetsFullWarmupNotVerbatimTrust) {
+  // The re-seeding hole this PR closes: a core idle (zero-valued) through
+  // warmup used to take its first live sample verbatim as trusted history
+  // with no anomaly check. Now it runs the same positive-sample warmup as
+  // everyone else, so one tampered wake-up sample is diluted by the
+  // following warmup samples instead of standing alone as the whole
+  // trusted history -- honest traffic after it is not flagged as a
+  // "boost" against an attacked-level anchor.
+  DetectorConfig cfg;
+  cfg.warmup_epochs = 4;
+  RequestAnomalyDetector detector(cfg);
+  for (int e = 0; e < 4; ++e) (void)detector.observe_epoch(epoch({0, 2000}));
+  EXPECT_EQ(detector.unarmed_cores(), 1U);  // node 0 unarmed, visibly
+  // Node 0 wakes with one Trojan-attenuated sample, then runs honest.
+  (void)detector.observe_epoch(epoch({200, 2000}));
+  for (int e = 0; e < 6; ++e) {
+    (void)detector.observe_epoch(epoch({2000, 2000}));
+  }
+  EXPECT_EQ(detector.unarmed_cores(), 0U);
+  // Old behavior: 200 trusted verbatim -> the honest 2000s flagged high.
+  EXPECT_TRUE(detector.cumulative().flagged_high.empty());
+}
+
+TEST(RequestAnomalyDetector, AnchoredFromFirstSampleIsTheDocumentedMiss) {
+  // Self-history fundamental limit (why CohortMedianDetector exists): a
+  // stream attacked from its very first sample anchors the trust band to
+  // the attacked level and is never flagged.
+  RequestAnomalyDetector ewma;
+  CohortMedianDetector cohort{DetectorConfig{
+      .kind = DetectorKind::kCohortMedian}};
+  // Node 0 attenuated 10x from its first epoch; 4 honest peers.
+  for (int e = 0; e < 8; ++e) {
+    const auto reqs = epoch({200, 2000, 2100, 1900, 2000});
+    (void)ewma.observe_epoch(reqs);
+    (void)cohort.observe_epoch(reqs);
+  }
+  EXPECT_FALSE(ewma.cumulative().any());  // blind by construction
+  ASSERT_EQ(cohort.cumulative().flagged_low.size(), 1U);
+  EXPECT_EQ(cohort.cumulative().flagged_low[0], 0U);
+}
+
+TEST(CohortMedianDetector, CatchesAttackFromEpochZeroWithLowLatency) {
+  CohortMedianDetector detector{DetectorConfig{
+      .kind = DetectorKind::kCohortMedian}};  // confirm_epochs = 2
+  for (int e = 0; e < 3; ++e) {
+    (void)detector.observe_epoch(epoch({200, 2000, 2100, 1900, 16000}));
+  }
+  // Needs no history: confirmed on the second consecutive epoch.
+  EXPECT_EQ(detector.cumulative().first_flag_epoch, 1);
+  ASSERT_EQ(detector.cumulative().flagged_low.size(), 1U);
+  EXPECT_EQ(detector.cumulative().flagged_low[0], 0U);
+  ASSERT_EQ(detector.cumulative().flagged_high.size(), 1U);
+  EXPECT_EQ(detector.cumulative().flagged_high[0], 4U);
+  EXPECT_EQ(detector.unarmed_cores(), 0U);
+}
+
+TEST(CohortMedianDetector, QuietOnHomogeneousAndGloballyDriftingCohort) {
+  CohortMedianDetector detector{DetectorConfig{
+      .kind = DetectorKind::kCohortMedian}};
+  // Whole-chip phase change: everyone drifts down together, the median
+  // drifts with them -- no flags (the self-history analogue holds too).
+  double mw = 3000.0;
+  for (int e = 0; e < 10; ++e) {
+    const auto v = static_cast<std::uint32_t>(mw);
+    (void)detector.observe_epoch(epoch({v, v, v, v, v, v}));
+    mw *= 0.80;
+  }
+  EXPECT_FALSE(detector.cumulative().any());
+}
+
+TEST(CohortMedianDetector, ThinCohortIsObservedButNotJudged) {
+  CohortMedianDetector detector{DetectorConfig{
+      .kind = DetectorKind::kCohortMedian}};
+  for (int e = 0; e < 5; ++e) {
+    (void)detector.observe_epoch(epoch({200, 2000, 2000}));  // < kMinCohort
+  }
+  EXPECT_FALSE(detector.cumulative().any());
+  EXPECT_EQ(detector.cumulative().epochs_observed, 5U);
+  EXPECT_EQ(detector.cumulative().observations, 15U);
+}
+
+TEST(CohortMedianDetector, IdleZeroSamplesAreNeverJudged) {
+  // Same zero-sample contract as the self-history types: a zero-valued
+  // request is not a cohort member -- it must not be flagged as an
+  // attenuated victim just for sitting below the median.
+  CohortMedianDetector detector{DetectorConfig{
+      .kind = DetectorKind::kCohortMedian}};
+  for (int e = 0; e < 5; ++e) {
+    (void)detector.observe_epoch(epoch({0, 2000, 2100, 1900, 2000}));
+  }
+  EXPECT_FALSE(detector.cumulative().any());
+}
+
+TEST(CohortMedianDetector, ResetMatchesFreshInstance) {
+  const DetectorConfig cfg{.kind = DetectorKind::kCohortMedian};
+  CohortMedianDetector reused{cfg};
+  for (int e = 0; e < 4; ++e) {
+    (void)reused.observe_epoch(epoch({200, 2000, 2100, 1900, 2000}));
+  }
+  ASSERT_TRUE(reused.cumulative().any());
+  reused.reset();
+  CohortMedianDetector fresh{cfg};
+  for (int e = 0; e < 4; ++e) {
+    const auto reqs = epoch({300, 3000, 3100, 2900, 3000});
+    const auto a = reused.observe_epoch(reqs);
+    const auto b = fresh.observe_epoch(reqs);
+    EXPECT_EQ(a, b) << e;
+  }
+  EXPECT_EQ(reused.cumulative(), fresh.cumulative());
+}
+
+TEST(CohortMedianDetector, FactoryDispatchesOnKind) {
+  DetectorConfig cfg;
+  cfg.kind = DetectorKind::kCohortMedian;
+  const auto detector = make_detector(cfg);
+  ASSERT_NE(detector, nullptr);
+  EXPECT_NE(dynamic_cast<CohortMedianDetector*>(detector.get()), nullptr);
+  EXPECT_EQ(detector->config(), cfg);
+}
+
+TEST(DetectorReport, UniqueFlaggedDeduplicatesAcrossLists) {
+  // The DefenseSweep detection-rate regression: a core in both lists
+  // (duty-cycle swings) must count once, or rates exceed 1.
+  DetectorReport rep;
+  rep.flagged_low = {3, 1, 7};
+  rep.flagged_high = {1, 7, 9};
+  EXPECT_EQ(rep.unique_flagged(), 4U);  // {1, 3, 7, 9}
+  rep.flagged_high.clear();
+  EXPECT_EQ(rep.unique_flagged(), 3U);
+  rep.flagged_low.clear();
+  EXPECT_EQ(rep.unique_flagged(), 0U);
+}
+
 TEST(GuardedBudgeter, ClampsTamperedRequests) {
   GuardedBudgeter guarded(make_budgeter(BudgeterKind::kProportional));
   // Build trust over several honest epochs.
@@ -182,6 +330,24 @@ TEST(GuardedBudgeter, ResetForgetsTrustHistory) {
   for (std::size_t i = 0; i < guarded_grants.size(); ++i) {
     EXPECT_EQ(guarded_grants[i].grant_mw, plain_grants[i].grant_mw) << i;
   }
+}
+
+TEST(GuardedBudgeter, ZeroSamplesDoNotArmOrDecayTrust) {
+  // Same cold-start contract as the detector: a core idle (zero-valued)
+  // through warmup must not arm, and its eventual first live sample goes
+  // through warmup instead of being clamped against a stale/empty band.
+  GuardedBudgeter guarded(make_budgeter(BudgeterKind::kProportional));
+  ProportionalBudgeter plain;
+  for (int e = 0; e < 6; ++e) {
+    (void)guarded.allocate(epoch({0, 2000}), 4000, 300);
+  }
+  // Node 0 wakes: still in warmup, so the request passes through
+  // unclamped, exactly as the plain allocator would grant it.
+  const auto reqs = epoch({1500, 2000});
+  const auto g = guarded.allocate(reqs, 4000, 300);
+  const auto p = plain.allocate(reqs, 4000, 300);
+  ASSERT_EQ(g.size(), p.size());
+  EXPECT_EQ(g[0].grant_mw, p[0].grant_mw);
 }
 
 TEST(GuardedBudgeter, BudgetStillRespected) {

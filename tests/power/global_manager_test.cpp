@@ -42,7 +42,7 @@ TEST(GlobalManager, CollectsAndReplies) {
   f.gm.on_power_request(f.request(1, 2000));
   f.gm.on_power_request(f.request(2, 2000));
   f.gm.on_power_request(f.request(3, 2000));
-  const EpochRecord rec = f.gm.allocate_and_reply();
+  const EpochRecord rec = f.gm.allocate_and_reply(f.engine.now());
   EXPECT_EQ(rec.requests_received, 3U);
   EXPECT_LE(rec.granted_mw, 4000U);
   f.engine.run_cycles(60);
@@ -58,7 +58,7 @@ TEST(GlobalManager, RequestsOutsideWindowDropped) {
   f.gm.on_power_request(f.request(1, 1000));  // before any epoch
   f.gm.begin_epoch(0);
   f.gm.on_power_request(f.request(2, 1000));
-  const auto rec = f.gm.allocate_and_reply();
+  const auto rec = f.gm.allocate_and_reply(f.engine.now());
   EXPECT_EQ(rec.requests_received, 1U);
   f.gm.on_power_request(f.request(3, 1000));  // straggler after close
   EXPECT_EQ(f.gm.history().back().requests_received, 1U);
@@ -71,7 +71,7 @@ TEST(GlobalManager, InfectionRateOverVictimRequests) {
   f.gm.on_power_request(f.request(1, 1000, /*tampered=*/true, /*app=*/0));
   f.gm.on_power_request(f.request(2, 1000, /*tampered=*/false, /*app=*/0));
   f.gm.on_power_request(f.request(3, 8000, /*tampered=*/false, /*app=*/9));
-  const auto rec = f.gm.allocate_and_reply();
+  const auto rec = f.gm.allocate_and_reply(f.engine.now());
   EXPECT_EQ(rec.victim_requests, 2U);
   EXPECT_EQ(rec.tampered_received, 1U);
   EXPECT_DOUBLE_EQ(rec.infection_rate(), 0.5);
@@ -80,7 +80,7 @@ TEST(GlobalManager, InfectionRateOverVictimRequests) {
 TEST(GlobalManager, InfectionRateZeroWithoutRequests) {
   GmFixture f;
   f.gm.begin_epoch(0);
-  const auto rec = f.gm.allocate_and_reply();
+  const auto rec = f.gm.allocate_and_reply(f.engine.now());
   EXPECT_DOUBLE_EQ(rec.infection_rate(), 0.0);
 }
 
@@ -89,12 +89,45 @@ TEST(GlobalManager, MeanInfectionSkipsWarmup) {
   // Epoch 1: fully infected. Epoch 2: clean.
   f.gm.begin_epoch(0);
   f.gm.on_power_request(f.request(1, 1000, true));
-  (void)f.gm.allocate_and_reply();
+  (void)f.gm.allocate_and_reply(f.engine.now());
   f.gm.begin_epoch(100);
   f.gm.on_power_request(f.request(1, 1000, false));
-  (void)f.gm.allocate_and_reply();
+  (void)f.gm.allocate_and_reply(f.engine.now());
   EXPECT_DOUBLE_EQ(f.gm.mean_infection_rate(0), 0.5);
   EXPECT_DOUBLE_EQ(f.gm.mean_infection_rate(1), 0.0);
+}
+
+TEST(GlobalManager, RecorderCapturesDetectorView) {
+  // The record/replay contract: the trace holds exactly the per-epoch
+  // request vectors an attached detector observes -- tampered values as
+  // received, empty epochs included -- plus the epoch timing metadata.
+  GmFixture f;
+  RequestTrace trace;
+  f.gm.attach_recorder(&trace);
+
+  f.gm.begin_epoch(0);
+  f.gm.on_power_request(f.request(1, 250, /*tampered=*/true));
+  f.gm.on_power_request(f.request(2, 2000));
+  (void)f.gm.allocate_and_reply(40);
+
+  f.gm.begin_epoch(100);  // nobody requests this epoch
+  (void)f.gm.allocate_and_reply(140);
+
+  ASSERT_EQ(trace.size(), 2U);
+  EXPECT_EQ(trace.epochs[0].epoch_start, 0U);
+  EXPECT_EQ(trace.epochs[0].allocate_cycle, 40U);
+  EXPECT_EQ(trace.epochs[0].budget_mw, 4000U);
+  ASSERT_EQ(trace.epochs[0].requests.size(), 2U);
+  EXPECT_EQ(trace.epochs[0].requests[0], (BudgetRequest{1, 0, 250}));
+  EXPECT_EQ(trace.epochs[0].requests[1], (BudgetRequest{2, 0, 2000}));
+  EXPECT_EQ(trace.epochs[1].epoch_start, 100U);
+  EXPECT_TRUE(trace.epochs[1].requests.empty());
+
+  // Replaying that trace equals feeding a detector in-simulation.
+  DetectorConfig cfg;
+  RequestAnomalyDetector in_sim(cfg);
+  for (const TraceEpoch& e : trace.epochs) (void)in_sim.observe_epoch(e.requests);
+  EXPECT_EQ(replay_detector(trace, cfg), in_sim.cumulative());
 }
 
 TEST(GlobalManager, TamperedRequestsShiftAllocation) {
@@ -111,7 +144,7 @@ TEST(GlobalManager, TamperedRequestsShiftAllocation) {
   f.gm.on_power_request(f.request(1, 250, true));    // victim, was 2000
   f.gm.on_power_request(f.request(2, 2000, false));  // bystander
   f.gm.on_power_request(f.request(3, 8000, false));  // attacker, was 2000
-  (void)f.gm.allocate_and_reply();
+  (void)f.gm.allocate_and_reply(f.engine.now());
   f.engine.run_cycles(60);
   ASSERT_EQ(grants.size(), 3U);
   EXPECT_LT(grants[1], grants[2]);
