@@ -1,46 +1,26 @@
 // Ablation: the paper claims the attack works "irrespective of the power
-// budgeting algorithms" the manager runs. We run the same mix-1 attack
-// under all five implemented allocation policies.
+// budgeting algorithms" the manager runs. Thin formatter over the
+// registry's "budgeter-ablation" scenario (same mix-1 attack under all
+// five implemented allocation policies).
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/infection.hpp"
-#include "core/placement.hpp"
 
 int main() {
   using namespace htpb;
-  bench::print_header(
-      "Ablation -- attack effect vs budgeting algorithm (mix-1, 64 cores)",
-      "Sec. I / II-A claim: attack is allocation-algorithm independent",
-      "Q > 1 under every policy; magnitude varies with how aggressively "
-      "the policy follows the (tampered) requests");
+  const json::Value result =
+      bench::run_registry_scenario("budgeter-ablation");
 
   std::printf("%-14s %10s %10s %12s %12s\n", "budgeter", "Q", "infection",
               "worst victim", "best attacker");
-  for (const auto kind :
-       {power::BudgeterKind::kUniform, power::BudgeterKind::kGreedy,
-        power::BudgeterKind::kProportional,
-        power::BudgeterKind::kDynamicProgramming,
-        power::BudgeterKind::kMarket}) {
-    core::CampaignConfig cfg = bench::mix_campaign_config(0, 64);
-    cfg.system.budgeter = kind;
-    core::AttackCampaign campaign(cfg);
-    const MeshGeometry geom(cfg.system.width, cfg.system.height);
-    const auto hts = core::clustered_placement(
-        geom, 8, geom.coord_of(campaign.gm_node()), campaign.gm_node());
-    const auto out = campaign.run(hts);
-    double worst_victim = 1e9;
-    double best_attacker = 0.0;
-    for (const auto& app : out.apps) {
-      if (app.attacker) {
-        best_attacker = std::max(best_attacker, app.change);
-      } else {
-        worst_victim = std::min(worst_victim, app.change);
-      }
-    }
+  for (const json::Value& row :
+       result.as_object().find("rows")->as_array()) {
+    const json::Object& r = row.as_object();
     std::printf("%-14s %10.3f %10.3f %12.3f %12.3f\n",
-                power::to_string(kind), out.q, out.infection_measured,
-                worst_victim, best_attacker);
+                r.find("budgeter")->as_string().c_str(),
+                r.find("q")->as_double(), r.find("infection")->as_double(),
+                r.find("worst_victim")->as_double(),
+                r.find("best_attacker")->as_double());
   }
   std::printf("\n(victim starvation works under EVERY policy, because an\n"
               "allocator never grants more than the -- tampered -- request;\n"

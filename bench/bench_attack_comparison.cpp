@@ -1,118 +1,50 @@
 // Extension bench: the paper's false-data attack vs the related-work
-// flooding DoS (Sec. II-B taxonomy), on damage and on detectability, plus
-// the stealth/damage trade-off of duty-cycled activation (Sec. III-B).
+// flooding DoS (Sec. II-B taxonomy), plus the stealth/damage trade-off of
+// duty-cycled activation (Sec. III-B). Thin formatter over the registry's
+// "attack-comparison" scenario.
 #include <cstdio>
-#include <memory>
-
-#include <array>
-#include <utility>
+#include <string>
 
 #include "bench_util.hpp"
-#include "core/flooding.hpp"
-#include "core/parallel_sweep.hpp"
-#include "core/placement.hpp"
-#include "system/manycore_system.hpp"
 
 int main() {
   using namespace htpb;
-  bench::print_header(
-      "Attack comparison -- false-data vs flooding; duty-cycled activation",
-      "Sec. II-B taxonomy / Sec. III-B activation control",
-      "the false-data attack injects zero packets (invisible to traffic "
-      "counters) while flooding lights up the victim router; duty-cycling "
-      "scales damage with exposure");
-
-  // ---- arm 1: clean reference ------------------------------------------
-  auto apps = workload::instantiate_mix(workload::standard_mixes()[0], 16);
-  workload::map_threads_round_robin(apps, 64);
-  system::SystemConfig sys_cfg = system::SystemConfig::with_size(64);
-  sys_cfg.epoch_cycles = 2000;
-
-  double victim_theta_clean = 0.0;
-  std::uint64_t gm_flits_clean = 0;
-  {
-    system::ManyCoreSystem sys(sys_cfg, apps);
-    sys.run_epochs(2);
-    sys.reset_measurement();
-    sys.run_epochs(5);
-    victim_theta_clean = sys.app_throughput(2) + sys.app_throughput(3);
-    gm_flits_clean =
-        sys.network().router(sys.gm_node()).stats().flits_forwarded;
-  }
-
-  // ---- arm 2: the paper's false-data attack -----------------------------
-  core::CampaignConfig cfg = bench::mix_campaign_config(0, 64);
-  cfg.system.epoch_cycles = 2000;
-  core::AttackCampaign campaign(cfg);
-  const MeshGeometry geom(8, 8);
-  const auto hts = core::clustered_placement(
-      geom, 8, geom.coord_of(campaign.gm_node()), campaign.gm_node());
-  const auto fd = campaign.run(hts);
-  double victim_theta_fd = 0.0;
-  for (const auto& app : fd.apps) {
-    if (!app.attacker) victim_theta_fd += app.theta_attacked;
-  }
-
-  // ---- arm 3: flooding DoS against the manager --------------------------
-  double victim_theta_flood = 0.0;
-  std::uint64_t gm_flits_flood = 0;
-  std::uint64_t flood_packets = 0;
-  {
-    system::ManyCoreSystem sys(sys_cfg, apps);
-    std::vector<std::unique_ptr<core::FloodingAttacker>> flooders;
-    for (NodeId src : {NodeId{0}, NodeId{7}, NodeId{56}, NodeId{63}}) {
-      flooders.push_back(std::make_unique<core::FloodingAttacker>(
-          &sys.network(), src, sys.gm_node(), 0.15, 7 + src));
-      sys.engine().add_tickable(flooders.back().get());
-    }
-    sys.run_epochs(2);
-    sys.reset_measurement();
-    sys.run_epochs(5);
-    victim_theta_flood = sys.app_throughput(2) + sys.app_throughput(3);
-    gm_flits_flood =
-        sys.network().router(sys.gm_node()).stats().flits_forwarded;
-    for (const auto& f : flooders) flood_packets += f->packets_injected();
-  }
+  const json::Value result =
+      bench::run_registry_scenario("attack-comparison");
+  const json::Object& root = result.as_object();
+  const json::Object& clean = root.find("clean")->as_object();
+  const json::Object& fd = root.find("false_data")->as_object();
+  const json::Object& flood = root.find("flooding")->as_object();
 
   std::printf("%-26s %14s %14s %14s\n", "", "clean", "false-data",
               "flooding");
   std::printf("%-26s %14.3f %14.3f %14.3f\n", "victim throughput (sum)",
-              victim_theta_clean, victim_theta_fd, victim_theta_flood);
-  std::printf("%-26s %14s %14llu %14llu\n", "extra packets injected", "0",
-              0ULL, static_cast<unsigned long long>(flood_packets));
-  std::printf("%-26s %14llu %14llu %14llu\n", "GM-router flits",
-              static_cast<unsigned long long>(gm_flits_clean),
-              static_cast<unsigned long long>(gm_flits_clean),
-              static_cast<unsigned long long>(gm_flits_flood));
+              clean.find("victim_throughput")->as_double(),
+              fd.find("victim_throughput")->as_double(),
+              flood.find("victim_throughput")->as_double());
+  std::printf("%-26s %14lld %14lld %14lld\n", "extra packets injected",
+              static_cast<long long>(clean.find("extra_packets")->as_int()),
+              static_cast<long long>(fd.find("extra_packets")->as_int()),
+              static_cast<long long>(
+                  flood.find("extra_packets")->as_int()));
+  std::printf("%-26s %14lld %14lld %14lld\n", "GM-router flits",
+              static_cast<long long>(clean.find("gm_flits")->as_int()),
+              static_cast<long long>(fd.find("gm_flits")->as_int()),
+              static_cast<long long>(flood.find("gm_flits")->as_int()));
   std::printf("(the false-data arm's GM flit count equals the clean run: the "
               "Trojan rewrites\npayloads in flight and is invisible to "
               "utilization counters)\n");
 
-  // ---- arm 4: duty-cycled activation sweep ------------------------------
-  // The four toggle periods are independent campaigns: fan them across the
-  // ParallelSweepRunner pool (each task owns its campaign, so the printed
-  // rows are identical at any thread count) and print in period order.
   std::printf("\nduty-cycled activation (ON/OFF every N epochs, mix-1):\n");
   std::printf("%-22s %10s %10s\n", "toggle period", "infection", "Q");
-  const std::array<int, 4> periods = {0, 4, 2, 1};
-  const core::ParallelSweepRunner runner;
-  const auto duty_outs =
-      runner.map(periods.size(), [&](std::size_t i) {
-        core::CampaignConfig duty_cfg = bench::mix_campaign_config(0, 64);
-        duty_cfg.system.epoch_cycles = 2000;
-        duty_cfg.warmup_epochs = 0;
-        duty_cfg.measure_epochs = 8;
-        duty_cfg.toggle_period_epochs = periods[i];
-        core::AttackCampaign duty(duty_cfg);
-        const auto out = duty.run(hts);
-        return std::pair<double, double>(out.infection_measured, out.q);
-      });
-  for (std::size_t i = 0; i < periods.size(); ++i) {
-    const int period = periods[i];
-    std::printf("%-22s %10.3f %10.3f\n",
-                period == 0 ? "always on" :
-                (std::string("every ") + std::to_string(period) + " epochs").c_str(),
-                duty_outs[i].first, duty_outs[i].second);
+  for (const json::Value& row : root.find("duty_cycle")->as_array()) {
+    const json::Object& r = row.as_object();
+    const long long period = r.find("period")->as_int();
+    const std::string label =
+        period == 0 ? "always on"
+                    : "every " + std::to_string(period) + " epochs";
+    std::printf("%-22s %10.3f %10.3f\n", label.c_str(),
+                r.find("infection")->as_double(), r.find("q")->as_double());
   }
   std::printf("(shorter exposure halves the infection rate and the attack "
               "effect follows --\nthe attacker's stealth/damage dial from "

@@ -1,83 +1,34 @@
 // Extension bench (the paper's conclusion: "more research on detection
-// and protection against such attacks is needed"): evaluates the two
-// manager-side defenses in power/defense.hpp against the paper's attack.
-//
-//   1. detection -- fraction of tampered/boosted cores flagged by the
-//      request-anomaly detector, plus false positives on a clean run;
-//   2. mitigation -- attack effect Q with and without the guarded
-//      (request-clamping) budgeter.
-#include <algorithm>
+// and protection against such attacks is needed"): detection and
+// mitigation of the false-data attack, per Table III mix. Thin formatter
+// over the registry's "defense-evaluation" scenario.
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/placement.hpp"
-#include "power/defense.hpp"
 
 int main() {
   using namespace htpb;
-  bench::print_header(
-      "Defense evaluation -- detection & mitigation of the false-data attack",
-      "extension of Sec. VI (conclusion)",
-      "detector flags most victims/accomplices with no false positives; "
-      "the guarded budgeter removes most of the Q excursion");
+  const json::Value result =
+      bench::run_registry_scenario("defense-evaluation");
 
   std::printf("%-7s | %9s %9s | %12s %12s | %9s %9s\n", "mix", "Q(plain)",
               "Q(guard)", "victims flag", "boost flag", "falsePos",
               "worstTheta");
-  for (int mix = 0; mix < 4; ++mix) {
-    core::CampaignConfig cfg = bench::mix_campaign_config(mix, 64);
-    // Mid-run activation so the detector sees honest history first.
-    cfg.trojan.active = false;
-    cfg.toggle_period_epochs = 3;
-    cfg.measure_epochs = 6;
-    cfg.detector = power::DetectorConfig{};
-    core::AttackCampaign campaign(cfg);
-    const MeshGeometry geom(cfg.system.width, cfg.system.height);
-    const auto hts = core::clustered_placement(
-        geom, 8, geom.coord_of(campaign.gm_node()), campaign.gm_node());
-    // Detection arm (mid-run activation); the run owns its detector and
-    // surfaces the report in the outcome.
-    const auto detected = campaign.run(hts);
-    const power::DetectorReport report =
-        detected.detection.value_or(power::DetectorReport{});
-
-    // Damage arms are measured with the attack always on so that plain
-    // and guarded runs are directly comparable.
-    core::CampaignConfig plain_cfg = bench::mix_campaign_config(mix, 64);
-    core::AttackCampaign plain_campaign(plain_cfg);
-    const auto plain = plain_campaign.run(hts);
-
-    int victims = 0;
-    int attackers = 0;
-    for (const auto& app : campaign.apps()) {
-      (app.is_attacker() ? attackers : victims) +=
-          static_cast<int>(app.cores.size());
-    }
-
-    // False positives: same chip, Trojans never activated. Detection-only
-    // run: the clean arm has no use for a baseline.
-    core::CampaignConfig clean_cfg = cfg;
-    clean_cfg.toggle_period_epochs = 0;
-    core::AttackCampaign clean(clean_cfg);
-    const auto clean_report =
-        clean.run_detection_only(hts).value_or(power::DetectorReport{});
-    const auto false_pos =
-        clean_report.flagged_low.size() + clean_report.flagged_high.size();
-
-    // Mitigation arm.
-    core::CampaignConfig guard_cfg = bench::mix_campaign_config(mix, 64);
-    guard_cfg.system.guard_requests = true;
-    core::AttackCampaign guarded(guard_cfg);
-    const auto mitigated = guarded.run(hts);
-    double worst = 1.0;
-    for (const auto& app : mitigated.apps) {
-      if (!app.attacker) worst = std::min(worst, app.change);
-    }
-
-    std::printf("%-7s | %9.3f %9.3f | %6zu/%-5d %6zu/%-5d | %9zu %9.3f\n",
-                cfg.mix->name.c_str(), plain.q, mitigated.q,
-                report.flagged_low.size(), victims,
-                report.flagged_high.size(), attackers, false_pos, worst);
+  for (const json::Value& row :
+       result.as_object().find("rows")->as_array()) {
+    const json::Object& r = row.as_object();
+    std::printf("%-7s | %9.3f %9.3f | %6lld/%-5lld %6lld/%-5lld | "
+                "%9lld %9.3f\n",
+                r.find("mix")->as_string().c_str(),
+                r.find("q_plain")->as_double(),
+                r.find("q_guarded")->as_double(),
+                static_cast<long long>(r.find("victims_flagged")->as_int()),
+                static_cast<long long>(r.find("victim_cores")->as_int()),
+                static_cast<long long>(
+                    r.find("attackers_flagged")->as_int()),
+                static_cast<long long>(r.find("attacker_cores")->as_int()),
+                static_cast<long long>(r.find("false_positives")->as_int()),
+                r.find("worst_victim_theta")->as_double());
   }
   std::printf("\n(victims flag = starved cores detected / victim cores;\n"
               "boost flag = inflated cores detected / attacker cores;\n"

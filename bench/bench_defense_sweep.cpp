@@ -8,49 +8,19 @@
 //     placements, not with the detector grid.
 //  2. A dense stealthy-Trojan ROC sweep: duty-cycle period x modification
 //     factor x trust band x detector kind (self-EWMA vs cohort-median).
-//     Only the dynamics axes (period, factor) cost simulations; the whole
-//     detector grid rides on trace replays, which is what makes a grid
-//     this dense affordable at all.
 //
-// Simulation counts and record/replay timings are written to a
-// BENCH_defense_sweep.json artifact (timings also to stderr); stdout is
-// byte-identical at any thread count.
+// Thin formatter over the registry's "defense-roc" scenario; the sweep
+// axes live in src/scenario/registry.cpp and the execution in
+// src/scenario/runner.cpp. Simulation counts and record/replay timings
+// are written to a BENCH_defense_sweep.json artifact (timings also to
+// stderr); stdout is byte-identical at any thread count.
 //
 //   HTPB_QUICK=1   fewer operating points / placements / dynamics cells
 //   HTPB_THREADS   caps the sweep pool
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <string>
-#include <vector>
 
 #include "bench_util.hpp"
-#include "core/defense_sweep.hpp"
-#include "core/placement.hpp"
-#include "perf_harness.hpp"
-#include "power/request_trace.hpp"
-
-namespace {
-
-using htpb::bench::now_seconds;
-
-const char* kind_name(htpb::power::DetectorKind kind) {
-  return kind == htpb::power::DetectorKind::kCohortMedian ? "cohort" : "ewma";
-}
-
-/// One ROC grid point, flattened for the JSON artifact.
-struct RocPoint {
-  int period = 0;        // toggle_period_epochs; 0 = always-on
-  double factor = 0.0;   // victim_scale (modification factor)
-  htpb::power::DetectorKind kind{};
-  double lo = 0.0;
-  double hi = 0.0;
-  double detect = 0.0;   // distinct flagged cores / monitored cores
-  double fp = 0.0;       // same, on the clean trace
-  double latency = -1.0; // first confirmed flag epoch, -1 = never
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace htpb;
@@ -59,78 +29,35 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
   }
 
-  bench::print_header(
-      "Defense sweep -- trust-band operating points x HT placements",
-      "extension of Sec. VI (conclusion)",
-      "tight bands detect fast with some false positives and kill most of "
-      "Q; loose bands go blind and let Q through");
+  const json::Value result = bench::run_registry_scenario("defense-roc");
+  const json::Object& root = result.as_object();
+  const json::Object& curve = root.find("curve")->as_object();
+  const json::Object& roc = root.find("roc")->as_object();
+  const json::Object& timing = root.find("timing")->as_object();
 
-  const bool quick = bench::quick_mode();
-
-  core::DefenseSweepConfig sweep_cfg;
-  sweep_cfg.base = bench::mix_campaign_config(0, 64);
-  // Mid-run activation: the detector earns honest history, then the
-  // Trojans wake up (the scenario a deployed detector actually faces).
-  sweep_cfg.base.trojan.active = false;
-  sweep_cfg.base.toggle_period_epochs = 3;
-  sweep_cfg.base.measure_epochs = quick ? 4 : 6;
-
-  // Operating points: the trust band [low_ratio, high_ratio] widened from
-  // tight (flag anything off by ~25%) to loose (only 4x excursions).
-  const std::vector<std::pair<double, double>> bands =
-      quick ? std::vector<std::pair<double, double>>{{0.6, 1.6}, {0.3, 3.0}}
-            : std::vector<std::pair<double, double>>{{0.8, 1.25},
-                                                     {0.6, 1.6},
-                                                     {0.45, 2.2},
-                                                     {0.3, 3.0},
-                                                     {0.25, 4.0}};
-  for (const auto& [lo, hi] : bands) {
-    power::DetectorConfig d;
-    d.low_ratio = lo;
-    d.high_ratio = hi;
-    sweep_cfg.detectors.push_back(d);
-  }
-
-  // Placements: GM-adjacent cluster, mid-mesh cluster, corner cluster --
-  // the Fig. 4 arms, each evaluated against every operating point.
-  const core::AttackCampaign probe(sweep_cfg.base);
-  const MeshGeometry geom(sweep_cfg.base.system.width,
-                          sweep_cfg.base.system.height);
-  const int m = 8;
-  sweep_cfg.placements.push_back(core::clustered_placement(
-      geom, m, geom.coord_of(probe.gm_node()), probe.gm_node()));
-  sweep_cfg.placements.push_back(core::clustered_placement(
-      geom, m, Coord{geom.width() / 4, geom.height() / 4}, probe.gm_node()));
-  if (!quick) {
-    sweep_cfg.placements.push_back(core::clustered_placement(
-        geom, m, MeshGeometry::corner(), probe.gm_node()));
-  }
-
-  const core::ParallelSweepRunner runner;
-  const std::uint64_t sims_before_curve = core::AttackCampaign::systems_simulated();
-  const double t_curve0 = now_seconds();
-  const core::DefenseSweep sweep(sweep_cfg);
-  const auto curve = sweep.run(runner);
-  const double curve_seconds = now_seconds() - t_curve0;
-  const std::uint64_t curve_sims =
-      core::AttackCampaign::systems_simulated() - sims_before_curve;
-
-  // Thread count to stderr so stdout is byte-identical at any pool size
-  // (the determinism check in the verify recipe cmp's stdouts).
-  std::fprintf(stderr, "(%zu operating points x %zu placements, %d threads)\n",
-               sweep_cfg.detectors.size(), sweep_cfg.placements.size(),
-               runner.threads());
+  // Thread count to stderr so stdout is byte-identical at any pool size.
+  std::fprintf(stderr, "(%lld operating points x %lld placements, %lld "
+               "threads)\n",
+               static_cast<long long>(
+                   curve.find("operating_points")->as_int()),
+               static_cast<long long>(curve.find("placements")->as_int()),
+               static_cast<long long>(root.find("threads")->as_int()));
   std::printf("%-13s | %8s %8s %8s | %8s %8s | %8s %8s\n", "band [lo,hi]",
               "detect", "victims", "boosted", "falsePos", "latency",
               "Q(plain)", "Q(guard)");
-  for (const auto& pt : curve) {
+  for (const json::Value& point : curve.find("points")->as_array()) {
+    const json::Object& pt = point.as_object();
     std::printf(
         "[%4.2f, %4.2f] | %7.1f%% %7.1f%% %7.1f%% | %7.1f%% %8.1f | "
         "%8.3f %8.3f\n",
-        pt.detector.low_ratio, pt.detector.high_ratio,
-        pt.detection_rate * 100.0, pt.victim_flag_rate * 100.0,
-        pt.attacker_flag_rate * 100.0, pt.false_positive_rate * 100.0,
-        pt.mean_detection_latency, pt.mean_q_plain, pt.mean_q_guarded);
+        pt.find("low")->as_double(), pt.find("high")->as_double(),
+        pt.find("detection_rate")->as_double() * 100.0,
+        pt.find("victim_flag_rate")->as_double() * 100.0,
+        pt.find("attacker_flag_rate")->as_double() * 100.0,
+        pt.find("false_positive_rate")->as_double() * 100.0,
+        pt.find("mean_detection_latency")->as_double(),
+        pt.find("mean_q_plain")->as_double(),
+        pt.find("mean_q_guarded")->as_double());
   }
   std::printf(
       "\n(detect = distinct flagged cores / monitored cores, mean over\n"
@@ -138,164 +65,48 @@ int main(int argc, char** argv) {
       "flag; Q(guard) = residual attack effect with the GuardedBudgeter\n"
       "clamping requests into the same trust band)\n");
 
-  // ------------------------------------------------------------------
-  // Dense stealthy-Trojan ROC sweep: duty-cycle period x modification
-  // factor x trust band x detector kind. Record one trace per
-  // (period, factor, placement) dynamics cell -- plus one clean trace per
-  // distinct system timing (dormant Trojans have identical dynamics
-  // across factors and periods, but first_epoch_cycle shifts the epoch
-  // grid) -- then replay the full detector grid offline.
-  // ------------------------------------------------------------------
-  const std::vector<int> periods = quick ? std::vector<int>{2}
-                                         : std::vector<int>{0, 2, 4};
-  const std::vector<double> factors =
-      quick ? std::vector<double>{0.10, 0.60}
-            : std::vector<double>{0.10, 0.35, 0.60, 0.80};
-  std::vector<power::DetectorConfig> roc_detectors;
-  for (const auto kind :
-       {power::DetectorKind::kSelfEwma, power::DetectorKind::kCohortMedian}) {
-    for (const auto& [lo, hi] : bands) {
-      power::DetectorConfig d;
-      d.kind = kind;
-      d.low_ratio = lo;
-      d.high_ratio = hi;
-      roc_detectors.push_back(d);
-    }
-  }
-  const std::vector<std::vector<NodeId>> roc_placements(
-      sweep_cfg.placements.begin(),
-      sweep_cfg.placements.begin() + (quick ? 1 : 2));
-
-  int monitored = 0;
-  for (const auto& app : probe.apps()) {
-    monitored += static_cast<int>(app.cores.size());
-  }
-
-  const auto roc_config = [&](int period, double factor) {
-    core::CampaignConfig cfg = sweep_cfg.base;
-    cfg.detector.reset();
-    cfg.trojan.victim_scale = factor;
-    if (period == 0) {
-      cfg.trojan.active = true;  // always-on, live from power-on
-      cfg.toggle_period_epochs = 0;
-      // Let the CONFIG_CMD broadcast finish before the first POWER_REQ:
-      // the attack-from-epoch-0 scenario the cohort detector exists for.
-      cfg.system.first_epoch_cycle = 600;
-    } else {
-      cfg.trojan.active = false;  // dormant until the first toggle
-      cfg.toggle_period_epochs = period;
-    }
-    return cfg;
-  };
-
-  // Record all dynamics cells through the pool.
-  const std::size_t dyn_count = periods.size() * factors.size();
-  const std::size_t rec_count = dyn_count * roc_placements.size();
-  const std::uint64_t sims_before_roc = core::AttackCampaign::systems_simulated();
-  const double t_rec0 = now_seconds();
-  const auto traces = runner.map(rec_count, [&](std::size_t i) {
-    const std::size_t dyn = i / roc_placements.size();
-    const std::size_t p = i % roc_placements.size();
-    core::AttackCampaign campaign(
-        roc_config(periods[dyn / factors.size()],
-                   factors[dyn % factors.size()]));
-    return campaign.record_trace(roc_placements[p]);
-  });
-  // Clean recordings: dormant Trojans mean identical dynamics across
-  // factors and duty-cycle periods -- but NOT across system timing, so
-  // the period=0 cells (which shift first_epoch_cycle to 600) need their
-  // own clean trace for an apples-to-apples detect/fp pair.
-  const auto record_clean = [&](Cycle first_epoch_cycle) {
-    core::CampaignConfig clean_cfg = sweep_cfg.base;
-    clean_cfg.detector.reset();
-    clean_cfg.trojan.active = false;
-    clean_cfg.toggle_period_epochs = 0;
-    clean_cfg.system.first_epoch_cycle = first_epoch_cycle;
-    core::AttackCampaign clean_campaign(clean_cfg);
-    return clean_campaign.record_trace(roc_placements.front());
-  };
-  const bool has_period0 =
-      std::find(periods.begin(), periods.end(), 0) != periods.end();
-  const power::RequestTrace clean_trace =
-      record_clean(sweep_cfg.base.system.first_epoch_cycle);
-  const power::RequestTrace clean_trace_epoch0 =
-      has_period0 ? record_clean(600) : power::RequestTrace{};
-  const double record_seconds = now_seconds() - t_rec0;
-  const std::uint64_t roc_sims =
-      core::AttackCampaign::systems_simulated() - sims_before_roc;
-
-  // Replay the detector grid over every trace (and the clean traces).
-  const double t_rep0 = now_seconds();
-  std::vector<double> clean_fp(roc_detectors.size(), 0.0);
-  std::vector<double> clean_fp_epoch0(roc_detectors.size(), 0.0);
-  for (std::size_t d = 0; d < roc_detectors.size(); ++d) {
-    const auto rep = power::replay_detector(clean_trace, roc_detectors[d]);
-    clean_fp[d] =
-        static_cast<double>(rep.unique_flagged()) / monitored;
-    if (has_period0) {
-      const auto rep0 =
-          power::replay_detector(clean_trace_epoch0, roc_detectors[d]);
-      clean_fp_epoch0[d] =
-          static_cast<double>(rep0.unique_flagged()) / monitored;
-    }
-  }
-  std::vector<RocPoint> roc_points;
-  roc_points.reserve(dyn_count * roc_detectors.size());
-  std::size_t replays =  // clean replays above
-      roc_detectors.size() * (has_period0 ? 2 : 1);
-  for (std::size_t dyn = 0; dyn < dyn_count; ++dyn) {
-    for (std::size_t d = 0; d < roc_detectors.size(); ++d) {
-      RocPoint pt;
-      pt.period = periods[dyn / factors.size()];
-      pt.factor = factors[dyn % factors.size()];
-      pt.kind = roc_detectors[d].kind;
-      pt.lo = roc_detectors[d].low_ratio;
-      pt.hi = roc_detectors[d].high_ratio;
-      pt.fp = pt.period == 0 ? clean_fp_epoch0[d] : clean_fp[d];
-      double latency_sum = 0.0;
-      int latency_n = 0;
-      for (std::size_t p = 0; p < roc_placements.size(); ++p) {
-        const auto rep = power::replay_detector(
-            traces[dyn * roc_placements.size() + p], roc_detectors[d]);
-        ++replays;
-        pt.detect += static_cast<double>(rep.unique_flagged()) / monitored;
-        if (rep.first_flag_epoch >= 0) {
-          latency_sum += rep.first_flag_epoch;
-          ++latency_n;
-        }
-      }
-      pt.detect /= static_cast<double>(roc_placements.size());
-      if (latency_n > 0) pt.latency = latency_sum / latency_n;
-      roc_points.push_back(pt);
-    }
-  }
-  const double replay_seconds = now_seconds() - t_rep0;
-
+  // ROC tables: detect and fp per (period, factor, kind), bands in the
+  // registered tight -> loose order.
+  const json::Array& roc_points = roc.find("points")->as_array();
   std::printf(
       "\nROC sweep -- duty-cycle period x modification factor x band x "
       "detector kind\n");
   std::printf("(period 0 = always-on attack live from power-on; detect/fp "
               "per band, tight -> loose)\n");
-  for (std::size_t dyn = 0; dyn < dyn_count; ++dyn) {
-    const int period = periods[dyn / factors.size()];
-    const double factor = factors[dyn % factors.size()];
-    for (const auto kind : {power::DetectorKind::kSelfEwma,
-                            power::DetectorKind::kCohortMedian}) {
-      std::printf("period=%d factor=%.2f | %-6s detect:", period, factor,
-                  kind_name(kind));
-      for (const auto& pt : roc_points) {
-        if (pt.period == period && pt.factor == factor && pt.kind == kind) {
-          std::printf(" %5.1f%%", pt.detect * 100.0);
+  // Walk the distinct (period, factor, kind) triples in point order; the
+  // runner emits the grid ordered by dynamics cell then detector.
+  for (std::size_t i = 0; i < roc_points.size();) {
+    const json::Object& first = roc_points[i].as_object();
+    const long long period = first.find("period")->as_int();
+    const double factor = first.find("factor")->as_double();
+    // Points of one dynamics cell, grouped ewma-first then cohort (the
+    // runner's detector-grid order).
+    for (const char* kind : {"ewma", "cohort"}) {
+      std::printf("period=%lld factor=%.2f | %-6s detect:", period, factor,
+                  kind);
+      for (const json::Value& point : roc_points) {
+        const json::Object& pt = point.as_object();
+        if (pt.find("period")->as_int() == period &&
+            pt.find("factor")->as_double() == factor &&
+            pt.find("kind")->as_string() == kind) {
+          std::printf(" %5.1f%%", pt.find("detect")->as_double() * 100.0);
         }
       }
       std::printf("  fp:");
-      for (const auto& pt : roc_points) {
-        if (pt.period == period && pt.factor == factor && pt.kind == kind) {
-          std::printf(" %5.1f%%", pt.fp * 100.0);
+      for (const json::Value& point : roc_points) {
+        const json::Object& pt = point.as_object();
+        if (pt.find("period")->as_int() == period &&
+            pt.find("factor")->as_double() == factor &&
+            pt.find("kind")->as_string() == kind) {
+          std::printf(" %5.1f%%", pt.find("fp")->as_double() * 100.0);
         }
       }
       std::printf("\n");
     }
+    // Skip past this dynamics cell (detector grid = 2 kinds x bands).
+    const std::size_t grid =
+        static_cast<std::size_t>(roc.find("detector_grid")->as_int());
+    i += grid;
   }
   std::printf(
       "\n(the self-EWMA goes blind at period=0 -- its history anchors to\n"
@@ -306,46 +117,49 @@ int main(int argc, char** argv) {
   // The cost-shape evidence: simulations scale with placements and
   // dynamics cells, never with the detector grid.
   std::fprintf(stderr,
-               "curve: %llu sims in %.2fs | ROC: %llu sims (%zu dynamics x "
-               "%zu placements + %d clean) + %zu replays of a %zu-detector "
-               "grid, record %.2fs replay %.3fs\n",
-               static_cast<unsigned long long>(curve_sims), curve_seconds,
-               static_cast<unsigned long long>(roc_sims), dyn_count,
-               roc_placements.size(), has_period0 ? 2 : 1, replays,
-               roc_detectors.size(), record_seconds, replay_seconds);
+               "curve: %lld sims in %.2fs | ROC: %lld sims (%lld dynamics x "
+               "%lld placements) + %lld replays of a %lld-detector grid, "
+               "record %.2fs replay %.3fs\n",
+               static_cast<long long>(curve.find("simulations")->as_int()),
+               timing.find("curve_seconds")->as_double(),
+               static_cast<long long>(roc.find("simulations")->as_int()),
+               static_cast<long long>(roc.find("dynamics_cells")->as_int()),
+               static_cast<long long>(roc.find("placements")->as_int()),
+               static_cast<long long>(roc.find("replays")->as_int()),
+               static_cast<long long>(roc.find("detector_grid")->as_int()),
+               timing.find("record_seconds")->as_double(),
+               timing.find("replay_seconds")->as_double());
 
-  std::FILE* json = std::fopen(json_path, "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"benchmark\": \"defense_sweep\",\n");
-    std::fprintf(json, "  \"quick\": %d,\n", quick ? 1 : 0);
-    std::fprintf(json, "  \"curve\": {\"operating_points\": %zu, "
-                 "\"placements\": %zu, \"simulations\": %llu, "
-                 "\"seconds\": %.3f},\n",
-                 sweep_cfg.detectors.size(), sweep_cfg.placements.size(),
-                 static_cast<unsigned long long>(curve_sims), curve_seconds);
-    std::fprintf(json, "  \"roc\": {\n");
-    std::fprintf(json, "    \"dynamics_cells\": %zu,\n", dyn_count);
-    std::fprintf(json, "    \"placements\": %zu,\n", roc_placements.size());
-    std::fprintf(json, "    \"detector_grid\": %zu,\n", roc_detectors.size());
-    std::fprintf(json, "    \"simulations\": %llu,\n",
-                 static_cast<unsigned long long>(roc_sims));
-    std::fprintf(json, "    \"replays\": %zu,\n", replays);
-    std::fprintf(json, "    \"record_seconds\": %.3f,\n", record_seconds);
-    std::fprintf(json, "    \"replay_seconds\": %.3f,\n", replay_seconds);
-    std::fprintf(json, "    \"points\": [\n");
-    for (std::size_t i = 0; i < roc_points.size(); ++i) {
-      const RocPoint& pt = roc_points[i];
-      std::fprintf(json,
-                   "      {\"period\": %d, \"factor\": %.2f, \"kind\": "
-                   "\"%s\", \"lo\": %.2f, \"hi\": %.2f, \"detect\": %.4f, "
-                   "\"fp\": %.4f, \"latency\": %.1f}%s\n",
-                   pt.period, pt.factor, kind_name(pt.kind), pt.lo, pt.hi,
-                   pt.detect, pt.fp, pt.latency,
-                   i + 1 < roc_points.size() ? "," : "");
-    }
-    std::fprintf(json, "    ]\n  }\n}\n");
-    std::fclose(json);
+  // JSON artifact (nightly trend tracking): same top-level keys as ever,
+  // assembled through the shared common/json emitter.
+  json::Object artifact;
+  artifact["benchmark"] = json::Value("defense_sweep");
+  artifact["quick"] = json::Value(bench::quick_mode() ? 1 : 0);
+  {
+    json::Object c;
+    c["operating_points"] = *curve.find("operating_points");
+    c["placements"] = *curve.find("placements");
+    c["simulations"] = *curve.find("simulations");
+    c["seconds"] = *timing.find("curve_seconds");
+    artifact["curve"] = json::Value(std::move(c));
+  }
+  {
+    json::Object r;
+    r["dynamics_cells"] = *roc.find("dynamics_cells");
+    r["placements"] = *roc.find("placements");
+    r["detector_grid"] = *roc.find("detector_grid");
+    r["simulations"] = *roc.find("simulations");
+    r["replays"] = *roc.find("replays");
+    r["record_seconds"] = *timing.find("record_seconds");
+    r["replay_seconds"] = *timing.find("replay_seconds");
+    r["points"] = *roc.find("points");
+    artifact["roc"] = json::Value(std::move(r));
+  }
+  try {
+    json::dump_file(json::Value(std::move(artifact)), json_path);
     std::fprintf(stderr, "wrote %s\n", json_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
   }
   return 0;
 }

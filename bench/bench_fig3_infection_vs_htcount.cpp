@@ -1,61 +1,33 @@
 // Fig. 3: infection rate vs number of HTs for 64- and 512-node chips,
-// with the global manager at the center vs at one corner. HTs are placed
-// uniformly at random and averaged over seeds; the simulated rate is
-// printed next to the analytic XY path-coverage prediction.
+// with the global manager at the center vs at one corner. Thin formatter
+// over the registry's "fig3" scenario (src/scenario/registry.cpp holds
+// the sweep axes; the runner holds the execution).
 #include <cstdio>
-#include <vector>
 
 #include "bench_util.hpp"
-#include "common/rng.hpp"
-#include "core/infection.hpp"
-#include "core/placement.hpp"
 
 int main() {
   using namespace htpb;
-  bench::print_header(
-      "Fig. 3 -- infection rate vs number of HTs (GM center vs corner)",
-      "Fig. 3(a) size 64, Fig. 3(b) size 512",
-      "rate rises with #HTs; corner GM >= ~20% higher beyond 10 HTs");
+  const json::Value result = bench::run_registry_scenario("fig3");
 
-  const int seeds = bench::quick_mode() ? 2 : 3;
-  struct Arm {
-    int nodes;
-    std::vector<int> ht_counts;
-  };
-  const std::vector<Arm> arms = {
-      {64, {2, 5, 10, 15, 20, 25, 30}},
-      {512, {5, 10, 20, 30, 40, 50, 60}},
-  };
-
-  for (const Arm& arm : arms) {
-    std::printf("\nsystem size = %d\n", arm.nodes);
+  for (const json::Value& arm : result.as_object().find("arms")->as_array()) {
+    const json::Object& a = arm.as_object();
+    std::printf("\nsystem size = %lld\n", static_cast<long long>(
+                                              a.find("nodes")->as_int()));
     std::printf("%6s | %-10s %-10s | %-10s %-10s\n", "", "GM center", "",
                 "GM corner", "");
     std::printf("%6s | %-10s %-10s | %-10s %-10s\n", "#HTs", "simulated",
                 "analytic", "simulated", "analytic");
-    for (const int hts : arm.ht_counts) {
-      double sim_rate[2] = {0.0, 0.0};
-      double ana_rate[2] = {0.0, 0.0};
-      const system::GmPlacement placements[2] = {
-          system::GmPlacement::kCenter, system::GmPlacement::kCorner};
-      for (int p = 0; p < 2; ++p) {
-        core::CampaignConfig cfg =
-            bench::infection_campaign_config(arm.nodes, placements[p]);
-        core::AttackCampaign campaign(cfg);
-        const MeshGeometry geom(cfg.system.width, cfg.system.height);
-        const core::InfectionAnalyzer analyzer(geom, campaign.gm_node());
-        for (int s = 0; s < seeds; ++s) {
-          Rng rng(1000 + static_cast<std::uint64_t>(s) * 77 + hts);
-          const auto nodes =
-              core::random_placement(geom, hts, rng, campaign.gm_node());
-          sim_rate[p] += campaign.run_infection_only(nodes);
-          ana_rate[p] += analyzer.predicted_rate(nodes);
-        }
-        sim_rate[p] /= seeds;
-        ana_rate[p] /= seeds;
+    for (const json::Value& row : a.find("rows")->as_array()) {
+      const json::Object& r = row.as_object();
+      const json::Array& cells = r.find("cells")->as_array();
+      std::printf("%6lld", static_cast<long long>(r.find("hts")->as_int()));
+      for (const json::Value& cell : cells) {
+        const json::Object& c = cell.as_object();
+        std::printf(" | %-10.3f %-10.3f", c.find("simulated")->as_double(),
+                    c.find("analytic")->as_double());
       }
-      std::printf("%6d | %-10.3f %-10.3f | %-10.3f %-10.3f\n", hts,
-                  sim_rate[0], ana_rate[0], sim_rate[1], ana_rate[1]);
+      std::printf("\n");
     }
   }
   std::printf("\n(see EXPERIMENTS.md for the paper-vs-measured discussion)\n");

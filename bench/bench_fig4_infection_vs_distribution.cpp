@@ -1,54 +1,31 @@
 // Fig. 4: infection rate under the three HT distributions (clustered at
-// the chip center, random, clustered in one corner) across system sizes
-// 64..512, with #HTs = 1/16 (a) and 1/8 (b) of the system size. GM at
-// the center.
+// the chip center, random, clustered in one corner) across system sizes.
+// Thin formatter over the registry's "fig4" scenario.
 #include <cstdio>
-#include <vector>
 
 #include "bench_util.hpp"
-#include "common/rng.hpp"
-#include "core/infection.hpp"
-#include "core/placement.hpp"
 
 int main() {
   using namespace htpb;
-  bench::print_header(
-      "Fig. 4 -- infection rate vs HT distribution",
-      "Fig. 4(a) #HT = size/16, Fig. 4(b) #HT = size/8",
-      "center cluster > random > corner cluster at every size "
-      "(paper: 1.59x and 9.85x at size 256, 1/16)");
+  const json::Value result = bench::run_registry_scenario("fig4");
 
-  const int seeds = bench::quick_mode() ? 2 : 3;
-  const std::vector<int> sizes = {64, 128, 256, 512};
-
-  for (const int divisor : {16, 8}) {
-    std::printf("\n#HTs = system size / %d\n", divisor);
+  for (const json::Value& d :
+       result.as_object().find("divisors")->as_array()) {
+    const json::Object& div = d.as_object();
+    std::printf("\n#HTs = system size / %lld\n",
+                static_cast<long long>(div.find("divisor")->as_int()));
     std::printf("%6s %5s | %-9s %-9s %-9s | %-18s\n", "size", "#HTs",
                 "center", "random", "corner", "center/random, center/corner");
-    for (const int size : sizes) {
-      const int hts = size / divisor;
-      core::CampaignConfig cfg = bench::infection_campaign_config(size);
-      core::AttackCampaign campaign(cfg);
-      const MeshGeometry geom(cfg.system.width, cfg.system.height);
-
-      const auto center_nodes = core::clustered_placement(
-          geom, hts, geom.center(), campaign.gm_node());
-      const auto corner_nodes =
-          core::clustered_placement(geom, hts, {0, 0}, campaign.gm_node());
-      const double rate_center = campaign.run_infection_only(center_nodes);
-      const double rate_corner = campaign.run_infection_only(corner_nodes);
-      double rate_random = 0.0;
-      for (int s = 0; s < seeds; ++s) {
-        Rng rng(500 + static_cast<std::uint64_t>(s) * 13 + size);
-        rate_random += campaign.run_infection_only(
-            core::random_placement(geom, hts, rng, campaign.gm_node()));
-      }
-      rate_random /= seeds;
-
-      std::printf("%6d %5d | %-9.3f %-9.3f %-9.3f | %.2fx  %.2fx\n", size,
-                  hts, rate_center, rate_random, rate_corner,
-                  rate_random > 0 ? rate_center / rate_random : 0.0,
-                  rate_corner > 0 ? rate_center / rate_corner : 0.0);
+    for (const json::Value& row : div.find("rows")->as_array()) {
+      const json::Object& r = row.as_object();
+      const double center = r.find("center")->as_double();
+      const double random = r.find("random")->as_double();
+      const double corner = r.find("corner")->as_double();
+      std::printf("%6lld %5lld | %-9.3f %-9.3f %-9.3f | %.2fx  %.2fx\n",
+                  static_cast<long long>(r.find("size")->as_int()),
+                  static_cast<long long>(r.find("hts")->as_int()), center,
+                  random, corner, random > 0 ? center / random : 0.0,
+                  corner > 0 ? center / corner : 0.0);
     }
   }
   return 0;

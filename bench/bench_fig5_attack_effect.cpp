@@ -1,57 +1,34 @@
 // Fig. 5: attack effect Q vs infection rate for the four Table III mixes
-// on a 256-core chip (64 threads per application). The infection rate is
-// swept by placing Trojans with the greedy target-coverage search.
+// on a 256-core chip. Thin formatter over the registry's "fig5" scenario.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
-#include "common/rng.hpp"
-#include "core/infection.hpp"
-#include "core/parallel_sweep.hpp"
 
 int main() {
   using namespace htpb;
-  bench::print_header(
-      "Fig. 5 -- attack effect Q vs infection rate (4 mixes, 256 cores)",
-      "Fig. 5", "Q grows with infection rate for every mix; paper peaks at "
-                "Q = 6.89 (mix-4, infection 0.9)");
-
-  const double targets_full[] = {0.1, 0.3, 0.5, 0.7, 0.9};
-  const double targets_quick[] = {0.3, 0.9};
-  const auto targets = bench::quick_mode()
-                           ? std::span<const double>(targets_quick)
-                           : std::span<const double>(targets_full);
+  const json::Value result = bench::run_registry_scenario("fig5");
+  const json::Array& mixes = result.as_object().find("mixes")->as_array();
 
   std::printf("%10s |", "infection");
-  for (int mix = 0; mix < 4; ++mix) std::printf("  Q(mix-%d)", mix + 1);
+  for (std::size_t mix = 0; mix < mixes.size(); ++mix) {
+    std::printf("  Q(mix-%zu)", mix + 1);
+  }
   std::printf("\n");
 
-  std::vector<std::vector<double>> q_rows(targets.size(),
-                                          std::vector<double>(4, 0.0));
-  std::vector<std::vector<double>> inf_rows = q_rows;
-  const core::ParallelSweepRunner runner;
-  for (int mix = 0; mix < 4; ++mix) {
-    core::AttackCampaign campaign(bench::mix_campaign_config(mix));
-    const MeshGeometry geom(16, 16);
-    const core::InfectionAnalyzer analyzer(geom, campaign.gm_node());
-    Rng rng(42);
-    // Placements come off one serial Rng stream (identical to the old
-    // loop); the campaign runs fan out across the runner's pool.
-    std::vector<std::vector<NodeId>> node_sets;
-    node_sets.reserve(targets.size());
-    for (std::size_t t = 0; t < targets.size(); ++t) {
-      node_sets.push_back(analyzer.placement_for_target(targets[t], 64, rng));
-    }
-    const auto outs = runner.run_node_sets(campaign, node_sets);
-    for (std::size_t t = 0; t < targets.size(); ++t) {
-      q_rows[t][mix] = outs[t].q;
-      inf_rows[t][mix] = outs[t].infection_measured;
-    }
-  }
-  for (std::size_t t = 0; t < targets.size(); ++t) {
+  const std::size_t targets =
+      mixes.front().as_object().find("rows")->as_array().size();
+  for (std::size_t t = 0; t < targets; ++t) {
     double mean_inf = 0.0;
-    for (int mix = 0; mix < 4; ++mix) mean_inf += inf_rows[t][mix];
-    std::printf("%10.2f |", mean_inf / 4.0);
-    for (int mix = 0; mix < 4; ++mix) std::printf("  %8.3f", q_rows[t][mix]);
+    std::vector<double> q;
+    for (const json::Value& mix : mixes) {
+      const json::Object& row =
+          mix.as_object().find("rows")->as_array().at(t).as_object();
+      mean_inf += row.find("infection")->as_double();
+      q.push_back(row.find("q")->as_double());
+    }
+    std::printf("%10.2f |", mean_inf / static_cast<double>(mixes.size()));
+    for (const double v : q) std::printf("  %8.3f", v);
     std::printf("\n");
   }
   std::printf("\n(Q > 1 means the attack pays off; monotone growth with the\n"

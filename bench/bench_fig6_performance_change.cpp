@@ -1,54 +1,34 @@
 // Fig. 6: per-application performance change Theta vs infection rate for
-// each Table III mix (four panels). The paper's headline points: at
-// infection 0.5, mix-1 attackers gain up to 1.2x and victims drop to
-// 0.6x; mix-3's attacker reaches 1.35x; mix-4's victims drop to 0.8x.
+// each Table III mix. Thin formatter over the registry's "fig6" scenario.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
-#include "common/rng.hpp"
-#include "core/infection.hpp"
-#include "core/parallel_sweep.hpp"
 
 int main() {
   using namespace htpb;
-  bench::print_header(
-      "Fig. 6 -- per-application Theta vs infection rate (4 mixes)",
-      "Fig. 6(a)-(d)",
-      "attackers' Theta >= 1 and rises; victims' Theta < 1 and falls; "
-      "compute-bound victims fall hardest");
+  const json::Value result = bench::run_registry_scenario("fig6");
+  const json::Array& mixes = result.as_object().find("mixes")->as_array();
 
-  const double targets_full[] = {0.1, 0.3, 0.5, 0.7, 0.9};
-  const double targets_quick[] = {0.5};
-  const auto targets = bench::quick_mode()
-                           ? std::span<const double>(targets_quick)
-                           : std::span<const double>(targets_full);
-
-  const core::ParallelSweepRunner runner;
-  for (int mix = 0; mix < 4; ++mix) {
-    core::AttackCampaign campaign(bench::mix_campaign_config(mix));
-    const MeshGeometry geom(16, 16);
-    const core::InfectionAnalyzer analyzer(geom, campaign.gm_node());
-    Rng rng(42);
-
-    std::printf("\nmix-%d (panel %c):\n", mix + 1,
+  for (std::size_t mix = 0; mix < mixes.size(); ++mix) {
+    const json::Object& m = mixes[mix].as_object();
+    std::printf("\nmix-%zu (panel %c):\n", mix + 1,
                 static_cast<char>('a' + mix));
     std::printf("%10s |", "infection");
-    for (const auto& app : campaign.apps()) {
-      std::printf(" %13s%s", app.profile.name.substr(0, 12).c_str(),
-                  app.is_attacker() ? "*" : " ");
+    for (const json::Value& app : m.find("apps")->as_array()) {
+      const json::Object& a = app.as_object();
+      std::printf(" %13s%s",
+                  a.find("name")->as_string().substr(0, 12).c_str(),
+                  a.find("attacker")->as_bool() ? "*" : " ");
     }
     std::printf("\n");
-    // Same serial placement stream as before; the per-target campaign
-    // simulations run across the pool.
-    std::vector<std::vector<NodeId>> node_sets;
-    node_sets.reserve(targets.size());
-    for (const double target : targets) {
-      node_sets.push_back(analyzer.placement_for_target(target, 64, rng));
-    }
-    const auto outs = runner.run_node_sets(campaign, node_sets);
-    for (const auto& out : outs) {
-      std::printf("%10.3f |", out.infection_measured);
-      for (const auto& app : out.apps) std::printf(" %13.3f ", app.change);
+    for (const json::Value& row : m.find("rows")->as_array()) {
+      const json::Object& r = row.as_object();
+      std::printf("%10.3f |", r.find("infection")->as_double());
+      for (const json::Value& change :
+           r.find("theta_change")->as_array()) {
+        std::printf(" %13.3f ", change.as_double());
+      }
       std::printf("\n");
     }
   }

@@ -1,51 +1,59 @@
-// Sec. III-D: the stealth argument. Regenerates every derived number of
-// the section from the synthesis constants.
+// Sec. III-D: the stealth argument -- every derived number of the section
+// regenerated from the synthesis constants. Thin formatter over the
+// registry's "secIIID-area-power" scenario.
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/area_power.hpp"
 
 int main() {
   using namespace htpb;
-  bench::print_header(
-      "Sec. III-D -- hardware Trojan area & power vs router/chip",
-      "Sec. III-D",
-      "HT ~0.017%/0.0017% of one router; 60 HTs ~0.002%/0.0002% of all "
-      "routers in a 512-node chip");
+  const json::Value result =
+      bench::run_registry_scenario("secIIID-area-power");
+  const json::Object& root = result.as_object();
+  const json::Object& m = root.find("model")->as_object();
+  const auto d = [&](const char* key) {
+    return m.find(key)->as_double();
+  };
+  const long long nodes = root.find("chip_nodes")->as_int();
 
-  const core::HtAreaPowerModel m;
   std::printf("%-46s %14s %14s\n", "quantity", "paper", "this repo");
   std::printf("%-46s %14s %14.4f\n", "HT area (um^2)", "12.1716",
-              m.ht_area_um2);
+              d("ht_area_um2"));
   std::printf("%-46s %14s %14.5f\n", "HT power (uW)", "0.55018",
-              m.ht_power_uw);
+              d("ht_power_uw"));
   std::printf("%-46s %14s %14.0f\n", "router area (um^2, DSENT)", "71814",
-              m.router.area_um2);
+              d("router_area_um2"));
   std::printf("%-46s %14s %14.0f\n", "router power (uW, DSENT)", "31881",
-              m.router.power_uw);
+              d("router_power_uw"));
   std::printf("%-46s %14s %14.4f\n", "HT area / router (%)", "~0.017",
-              m.area_fraction_of_router() * 100.0);
+              d("area_fraction_of_router") * 100.0);
   std::printf("%-46s %14s %14.5f\n", "HT power / router (%)", "~0.0017",
-              m.power_fraction_of_router() * 100.0);
+              d("power_fraction_of_router") * 100.0);
+
+  const json::Array& scaling = root.find("scaling")->as_array();
+  const json::Object& last = scaling.back().as_object();
   std::printf("%-46s %14s %14.3f\n", "60 HTs total area (um^2)", "730.296",
-              m.total_area_um2(60));
+              last.find("total_area_um2")->as_double());
   std::printf("%-46s %14s %14.4f\n", "60 HTs total power (uW)", "33.0108",
-              m.total_power_uw(60));
+              last.find("total_power_uw")->as_double());
   std::printf("%-46s %14s %14.5f\n",
               "60 HTs area / all routers, 512 nodes (%)", "~0.002",
-              m.area_fraction_of_chip(60, 512) * 100.0);
+              last.find("area_fraction_of_chip")->as_double() * 100.0);
   std::printf("%-46s %14s %14.6f\n",
               "60 HTs power / all routers, 512 nodes (%)", "~0.0002",
-              m.power_fraction_of_chip(60, 512) * 100.0);
+              last.find("power_fraction_of_chip")->as_double() * 100.0);
 
-  std::printf("\nscaling with HT count (512-node chip):\n");
+  std::printf("\nscaling with HT count (%lld-node chip):\n", nodes);
   std::printf("%6s %16s %16s %12s %12s\n", "HTs", "area (um^2)",
               "power (uW)", "area %chip", "power %chip");
-  for (const int hts : {1, 10, 20, 40, 60}) {
-    std::printf("%6d %16.4f %16.5f %12.6f %12.7f\n", hts,
-                m.total_area_um2(hts), m.total_power_uw(hts),
-                m.area_fraction_of_chip(hts, 512) * 100.0,
-                m.power_fraction_of_chip(hts, 512) * 100.0);
+  for (const json::Value& row : scaling) {
+    const json::Object& r = row.as_object();
+    std::printf("%6lld %16.4f %16.5f %12.6f %12.7f\n",
+                static_cast<long long>(r.find("hts")->as_int()),
+                r.find("total_area_um2")->as_double(),
+                r.find("total_power_uw")->as_double(),
+                r.find("area_fraction_of_chip")->as_double() * 100.0,
+                r.find("power_fraction_of_chip")->as_double() * 100.0);
   }
   return 0;
 }

@@ -1,118 +1,35 @@
 // Sec. V-C's optimization study: fit the linear attack-effect model
-// (Eq. 9) on sampled placements, solve the placement problem (Eq. 10-11,
-// M_HT = 16, GM at the center), and compare the realized Q of the
-// optimized placement against randomly placed Trojans.
+// (Eq. 9), solve the placement problem (Eq. 10-11) and compare the
+// realized Q of the optimized placement against randomly placed Trojans.
+// Thin formatter over the registry's "secVC-placement" scenario.
 //
 // Paper: optimal placement beats random by ~30% for mixes 1-3 and up to
-// ~110% for mix-4.
-//
-// All campaign evaluations fan out through ParallelSweepRunner
-// (HTPB_THREADS caps the pool); placements are generated up front from a
-// single Rng, so the printed numbers are identical at any thread count.
+// ~110% for mix-4. HTPB_THREADS caps the sweep pool; the printed numbers
+// are identical at any thread count.
 #include <cstdio>
-#include <vector>
 
 #include "bench_util.hpp"
-#include "common/rng.hpp"
-#include "core/attack_model.hpp"
-#include "core/campaign.hpp"
-#include "core/optimizer.hpp"
-#include "core/parallel_sweep.hpp"
-#include "core/placement.hpp"
 
 int main() {
   using namespace htpb;
-  bench::print_header(
-      "Sec. V-C -- model-optimized vs random HT placement (16 HTs)",
-      "Sec. V-C", "optimized placement improves Q by ~30% (mixes 1-3) and "
-                  "up to ~110% (mix-4) over random");
+  const json::Value result = bench::run_registry_scenario("secVC-placement");
 
-  // A 64-node chip keeps the dataset-building affordable; the geometry
-  // arguments (rho/eta/m) are scale-free. HTPB_QUICK trims the sample set.
-  const int nodes = 64;
-  const int max_hts = 16;
-  const int train_samples = bench::quick_mode() ? 10 : 24;
-  const int random_trials = bench::quick_mode() ? 2 : 4;
-  const core::ParallelSweepRunner runner;
-  // stderr, so stdout stays byte-identical at any HTPB_THREADS setting.
-  std::fprintf(stderr, "(campaign sweeps on %d thread%s)\n", runner.threads(),
-               runner.threads() == 1 ? "" : "s");
-
+  std::fprintf(stderr, "(campaign sweeps on %lld threads)\n",
+               static_cast<long long>(
+                   result.as_object().find("threads")->as_int()));
   std::printf("%-7s %9s %9s %9s %8s | %11s %9s\n", "mix", "Q(random)",
               "Q(model)", "Q(run)", "gain", "model R^2", "pred Q");
-  for (int mix = 0; mix < 4; ++mix) {
-    core::CampaignConfig cfg = bench::mix_campaign_config(mix, nodes);
-    core::AttackCampaign campaign(cfg);
-    const MeshGeometry geom(cfg.system.width, cfg.system.height);
-    Rng rng(7 + static_cast<std::uint64_t>(mix));
-
-    // Phase 1: sample diverse placements (serially, from one stream) and
-    // evaluate them across the pool to record (rho, eta, m, Q).
-    std::vector<core::Placement> train;
-    train.reserve(static_cast<std::size_t>(train_samples));
-    for (int i = 0; i < train_samples; ++i) {
-      const int m = 1 + static_cast<int>(rng.below(max_hts));
-      train.push_back(core::candidate_placements(geom, campaign.gm_node(),
-                                                 m, 1, rng)
-                          .front());
-    }
-    const auto train_outs = runner.run_placements(campaign, train);
-
-    std::vector<core::AttackSample> samples;
-    std::vector<double> phi_victims;
-    std::vector<double> phi_attackers;
-    for (const auto& out : train_outs) {
-      core::AttackSample s;
-      s.rho = out.geometry.rho;
-      s.eta = out.geometry.eta;
-      s.m = out.geometry.m;
-      for (const auto& app : out.apps) {
-        (app.attacker ? s.phi_attackers : s.phi_victims).push_back(app.phi);
-      }
-      s.q = out.q;
-      if (phi_victims.empty()) {
-        phi_victims = s.phi_victims;
-        phi_attackers = s.phi_attackers;
-      }
-      samples.push_back(std::move(s));
-    }
-
-    // Phase 2: fit Eq. 9 and enumerate (Eq. 10-11) across the pool.
-    core::AttackEffectModel model;
-    model.fit(samples);
-    core::PlacementOptimizer optimizer(geom, campaign.gm_node(), &model,
-                                       phi_victims, phi_attackers);
-    // The attacker validates the model's short list in simulation before
-    // committing; the best realized candidate is the deployed placement.
-    const auto shortlist =
-        optimizer.optimize_top_k(max_hts, 60, 3, rng(), runner);
-    std::vector<core::Placement> short_placements;
-    for (const auto& r : shortlist) short_placements.push_back(r.placement);
-    const auto realized = runner.run_placements(campaign, short_placements);
-    std::size_t best = 0;
-    for (std::size_t c = 1; c < realized.size(); ++c) {
-      if (realized[c].q > realized[best].q) best = c;
-    }
-    // Q(model): realized Q of the model's top-scored candidate.
-    // Q(run): realized Q of the deployed (best-validated) candidate.
-    const core::CampaignOutcome& optimized = realized[best];
-    const double predicted_q = shortlist[best].predicted_q;
-
-    std::vector<std::vector<NodeId>> random_sets;
-    for (int t = 0; t < random_trials; ++t) {
-      random_sets.push_back(
-          core::random_placement(geom, max_hts, rng, campaign.gm_node()));
-    }
-    double q_random = 0.0;
-    for (const auto& out : runner.run_node_sets(campaign, random_sets)) {
-      q_random += out.q;
-    }
-    q_random /= random_trials;
-
+  for (const json::Value& row :
+       result.as_object().find("mixes")->as_array()) {
+    const json::Object& r = row.as_object();
     std::printf("%-7s %9.3f %9.3f %9.3f %7.1f%% | %11.3f %9.3f\n",
-                cfg.mix->name.c_str(), q_random, realized[0].q, optimized.q,
-                (optimized.q / q_random - 1.0) * 100.0, model.r2(),
-                predicted_q);
+                r.find("mix")->as_string().c_str(),
+                r.find("q_random")->as_double(),
+                r.find("q_model_top")->as_double(),
+                r.find("q_deployed")->as_double(),
+                r.find("gain")->as_double() * 100.0,
+                r.find("model_r2")->as_double(),
+                r.find("predicted_q")->as_double());
   }
   std::printf("\n(gain = realized Q of optimized placement over the mean of "
               "random 16-HT placements)\n");

@@ -1,64 +1,51 @@
-// Table I: the simulator configuration. Prints the implemented
-// configuration next to the paper's values and verifies the NoC timing
-// parameters against a measured zero-load latency.
+// Table I: the simulator configuration next to the paper's values, and a
+// zero-load latency check of the NoC timing parameters. Thin formatter
+// over the registry's "table1" scenario.
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "noc/network.hpp"
-#include "sim/engine.hpp"
 
 int main() {
   using namespace htpb;
-  bench::print_header(
-      "Table I -- simulator configuration",
-      "Table I", "all architecture parameters implemented 1:1 where given");
+  const json::Value result = bench::run_registry_scenario("table1");
+  const json::Object& p =
+      result.as_object().find("parameters")->as_object();
+  const auto i = [&](const char* key) {
+    return static_cast<long long>(p.find(key)->as_int());
+  };
 
-  const system::SystemConfig cfg = system::SystemConfig::with_size(256);
   std::printf("%-38s %-22s %s\n", "parameter", "paper", "this repo");
-  std::printf("%-38s %-22s %d (%dx%d mesh)\n", "Number of processors",
-              "256 (Alpha ISA 64)", cfg.node_count(), cfg.width, cfg.height);
+  std::printf("%-38s %-22s %lld (%lldx%lld mesh)\n", "Number of processors",
+              "256 (Alpha ISA 64)", i("nodes"), i("width"), i("height"));
   std::printf("%-38s %-22s analytical IPC(f) model\n", "Core model",
               "4-wide OoO, ROB 64");
-  std::printf("%-38s %-22s %zu sets x %d ways, %d MSHRs\n",
-              "L1 D cache (private)", "16 KB two-way 32B", cfg.l1.sets,
-              cfg.l1.ways, cfg.l1.mshrs);
-  std::printf("%-38s %-22s %zu sets x %d ways per bank\n",
-              "L2 cache (shared, MESI)", "64 KB slice/node", cfg.l2.sets,
-              cfg.l2.ways);
-  std::printf("%-38s %-22s %llu cycles\n", "Main memory latency",
-              "200 cycles",
-              static_cast<unsigned long long>(cfg.l2.mem_latency));
-  std::printf("%-38s %-22s %d flits\n", "Data packet size", "5 flits",
-              cfg.noc.data_packet_flits);
-  std::printf("%-38s %-22s %d flit\n", "Meta packet size", "1 flit",
-              cfg.noc.meta_packet_flits);
-  std::printf("%-38s %-22s router %d / link %d cycles\n", "NoC latency",
-              "router 2, link 1", cfg.noc.router_latency,
-              cfg.noc.link_latency);
-  std::printf("%-38s %-22s %d\n", "Virtual channels", "4", cfg.noc.vcs);
-  std::printf("%-38s %-22s %d flits/VC\n", "NoC buffer", "5x5 flits",
-              cfg.noc.vc_depth);
+  std::printf("%-38s %-22s %lld sets x %lld ways, %lld MSHRs\n",
+              "L1 D cache (private)", "16 KB two-way 32B", i("l1_sets"),
+              i("l1_ways"), i("l1_mshrs"));
+  std::printf("%-38s %-22s %lld sets x %lld ways per bank\n",
+              "L2 cache (shared, MESI)", "64 KB slice/node", i("l2_sets"),
+              i("l2_ways"));
+  std::printf("%-38s %-22s %lld cycles\n", "Main memory latency",
+              "200 cycles", i("mem_latency"));
+  std::printf("%-38s %-22s %lld flits\n", "Data packet size", "5 flits",
+              i("data_packet_flits"));
+  std::printf("%-38s %-22s %lld flit\n", "Meta packet size", "1 flit",
+              i("meta_packet_flits"));
+  std::printf("%-38s %-22s router %lld / link %lld cycles\n", "NoC latency",
+              "router 2, link 1", i("router_latency"), i("link_latency"));
+  std::printf("%-38s %-22s %lld\n", "Virtual channels", "4", i("vcs"));
+  std::printf("%-38s %-22s %lld flits/VC\n", "NoC buffer", "5x5 flits",
+              i("vc_depth"));
   std::printf("%-38s %-22s XY (west-first adaptive selectable)\n",
               "Routing algorithm", "XY");
 
-  // Verify Table I's timing on the wire: one-hop zero-load latency must
-  // equal (hops+1)*(router+link) + link for a 1-flit packet.
-  sim::Engine engine;
-  MeshGeometry geom(2, 1);
-  noc::MeshNetwork net(engine, geom, cfg.noc);
-  Cycle measured = 0;
-  net.set_handler(1, [&](const noc::Packet& p) {
-    measured = p.delivered - p.birth;
-  });
-  net.send(net.make_packet(0, 1, noc::PacketType::kMemReadReq));
-  engine.run_cycles(30);
-  const Cycle expected = static_cast<Cycle>(
-      2 * (cfg.noc.router_latency + cfg.noc.link_latency) +
-      cfg.noc.link_latency);
-  std::printf("\nzero-load 1-hop latency: measured %llu cycles, "
-              "analytic %llu cycles (%s)\n",
-              static_cast<unsigned long long>(measured),
-              static_cast<unsigned long long>(expected),
-              measured == expected ? "MATCH" : "MISMATCH");
-  return measured == expected ? 0 : 1;
+  const json::Object& lat =
+      result.as_object().find("zero_load_latency")->as_object();
+  const bool match = lat.find("match")->as_bool();
+  std::printf("\nzero-load 1-hop latency: measured %lld cycles, "
+              "analytic %lld cycles (%s)\n",
+              static_cast<long long>(lat.find("measured")->as_int()),
+              static_cast<long long>(lat.find("analytic")->as_int()),
+              match ? "MATCH" : "MISMATCH");
+  return match ? 0 : 1;
 }

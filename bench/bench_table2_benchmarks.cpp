@@ -1,54 +1,49 @@
-// Tables II and III: the benchmark roster and the attacker/victim mixes,
-// together with the measured sensitivity spread (Def. 5) that the mixes
-// rely on.
+// Tables II and III: the benchmark roster, the attacker/victim mixes and
+// the measured sensitivity spread (Def. 5). Thin formatter over the
+// registry's "table2" scenario.
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "system/manycore_system.hpp"
-#include "workload/application.hpp"
-#include "workload/benchmark_profile.hpp"
 
 int main() {
   using namespace htpb;
-  bench::print_header("Tables II & III -- benchmarks and mixes",
-                      "Table II, Table III",
-                      "11 PARSEC/SPLASH-2 profiles; 4 mixes with 1-3 "
-                      "attackers/victims; compute-bound apps have higher Phi");
+  const json::Value result = bench::run_registry_scenario("table2");
+  const json::Object& root = result.as_object();
 
   std::printf("%-15s %-9s %8s %7s %10s %8s %7s\n", "benchmark", "suite",
               "cpi_base", "apki", "ws_lines", "shared%", "write%");
-  for (const auto& b : workload::benchmark_table()) {
-    std::printf("%-15s %-9s %8.2f %7.1f %10llu %8.2f %7.2f\n",
-                b.name.c_str(), b.suite.c_str(), b.cpi_base, b.apki,
-                static_cast<unsigned long long>(b.working_set_lines),
-                b.shared_fraction, b.write_fraction);
+  for (const json::Value& b : root.find("benchmarks")->as_array()) {
+    const json::Object& r = b.as_object();
+    std::printf("%-15s %-9s %8.2f %7.1f %10lld %8.2f %7.2f\n",
+                r.find("name")->as_string().c_str(),
+                r.find("suite")->as_string().c_str(),
+                r.find("cpi_base")->as_double(), r.find("apki")->as_double(),
+                static_cast<long long>(
+                    r.find("working_set_lines")->as_int()),
+                r.find("shared_fraction")->as_double(),
+                r.find("write_fraction")->as_double());
   }
 
   std::printf("\nTable III combinations:\n");
-  for (const auto& mix : workload::standard_mixes()) {
-    std::printf("  %-7s attackers:", mix.name.c_str());
-    for (const auto& a : mix.attackers) std::printf(" %s", a.c_str());
+  for (const json::Value& m : root.find("mixes")->as_array()) {
+    const json::Object& mix = m.as_object();
+    std::printf("  %-7s attackers:", mix.find("name")->as_string().c_str());
+    for (const json::Value& a : mix.find("attackers")->as_array()) {
+      std::printf(" %s", a.as_string().c_str());
+    }
     std::printf("  victims:");
-    for (const auto& v : mix.victims) std::printf(" %s", v.c_str());
+    for (const json::Value& v : mix.find("victims")->as_array()) {
+      std::printf(" %s", v.as_string().c_str());
+    }
     std::printf("\n");
   }
 
-  // Measured per-application sensitivity Phi (Def. 5) on a quiet 64-core
-  // chip: one app at a time, uniform placement.
   std::printf("\nmeasured power sensitivity Phi (Def. 5), 64-core chip:\n");
   std::printf("%-15s %10s\n", "benchmark", "Phi");
-  for (const auto& profile : workload::benchmark_table()) {
-    workload::Mix solo;
-    solo.name = profile.name;
-    solo.victims = {profile.name};
-    auto apps = workload::instantiate_mix(solo, 64);
-    workload::map_threads_round_robin(apps, 64);
-    system::SystemConfig cfg = system::SystemConfig::with_size(64);
-    cfg.epoch_cycles = 1500;
-    system::ManyCoreSystem sys(cfg, apps);
-    sys.run_epochs(3);
-    std::printf("%-15s %10.3f\n", profile.name.c_str(),
-                sys.app_sensitivity(0));
+  for (const json::Value& row : root.find("phi")->as_array()) {
+    const json::Object& r = row.as_object();
+    std::printf("%-15s %10.3f\n", r.find("name")->as_string().c_str(),
+                r.find("phi")->as_double());
   }
   return 0;
 }

@@ -1,49 +1,23 @@
-// Shared helpers for the reproduction benches.
+// Shared helpers for the reproduction benches. The figure/table benches
+// are thin formatters over the scenario layer: each fetches its spec from
+// scenario::registry(), executes it through scenario::run_scenario, and
+// pretty-prints the result tree -- all experiment configuration lives in
+// the specs (src/scenario/registry.cpp), not here.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
-#include <string>
-#include <vector>
 
-#include "core/campaign.hpp"
-#include "system/system_config.hpp"
-#include "workload/application.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
 
 namespace htpb::bench {
 
-/// Set HTPB_QUICK=1 to shrink seed counts / sweep lengths (CI smoke runs).
+/// Set HTPB_QUICK=1 to apply the specs' quick overlays (CI smoke runs).
 [[nodiscard]] inline bool quick_mode() {
   const char* env = std::getenv("HTPB_QUICK");
   return env != nullptr && env[0] == '1';
-}
-
-/// Campaign configuration shared by the attack-effect experiments
-/// (Figs. 5-6, Sec. V-C): 256 cores, Table III mixes, 50% budget.
-[[nodiscard]] inline core::CampaignConfig mix_campaign_config(int mix_index,
-                                                              int nodes = 256) {
-  core::CampaignConfig cfg;
-  cfg.system = system::SystemConfig::with_size(nodes);
-  cfg.system.epoch_cycles = 2000;
-  cfg.mix = workload::standard_mixes().at(static_cast<std::size_t>(mix_index));
-  cfg.trojan.victim_scale = 0.10;
-  cfg.trojan.attacker_boost = 8.0;
-  cfg.warmup_epochs = 2;
-  cfg.measure_epochs = quick_mode() ? 3 : 5;
-  return cfg;
-}
-
-/// Infection-rate-only configuration (Figs. 3-4): uniform workload.
-[[nodiscard]] inline core::CampaignConfig infection_campaign_config(
-    int nodes, system::GmPlacement gm = system::GmPlacement::kCenter) {
-  core::CampaignConfig cfg;
-  cfg.system = system::SystemConfig::with_size(nodes);
-  cfg.system.epoch_cycles = 1500;
-  cfg.system.gm_placement = gm;
-  cfg.mix = std::nullopt;
-  cfg.warmup_epochs = 1;
-  cfg.measure_epochs = quick_mode() ? 2 : 3;
-  return cfg;
 }
 
 inline void print_header(const char* experiment, const char* paper_ref,
@@ -53,6 +27,21 @@ inline void print_header(const char* experiment, const char* paper_ref,
   std::printf("paper: %s\n", paper_ref);
   std::printf("expected shape: %s\n", expectation);
   std::printf("==============================================================\n");
+}
+
+inline void print_header(const scenario::ScenarioSpec& spec) {
+  print_header(spec.title.c_str(), spec.paper_ref.c_str(),
+               spec.expectation.c_str());
+}
+
+/// The standard bench prologue: fetch the named registry spec, print its
+/// header, and execute it (quick per HTPB_QUICK, pool per HTPB_THREADS).
+[[nodiscard]] inline json::Value run_registry_scenario(const char* name) {
+  const scenario::ScenarioSpec& spec = scenario::scenario_or_throw(name);
+  print_header(spec);
+  scenario::RunOptions opts;
+  opts.quick = quick_mode();
+  return scenario::run_scenario(spec, opts);
 }
 
 }  // namespace htpb::bench

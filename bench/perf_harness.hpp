@@ -1,8 +1,9 @@
 // Minimal vendored timing harness for the hot-path benches: wall-clock
-// measurement, cycles/sec reporting, a flat JSON emitter and a
-// tolerance-based comparison against a checked-in baseline JSON. No
-// external dependency (ROADMAP: libbenchmark-dev is absent on some
-// machines, so the perf trajectory must not hinge on it).
+// measurement, cycles/sec reporting, a JSON emitter (through the shared
+// common/json utility) and a tolerance-based comparison against a
+// checked-in baseline JSON. No external dependency (ROADMAP:
+// libbenchmark-dev is absent on some machines, so the perf trajectory
+// must not hinge on it).
 #pragma once
 
 #include <chrono>
@@ -13,6 +14,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "common/json.hpp"
 
 namespace htpb::bench {
 
@@ -73,22 +76,30 @@ class PerfReport {
   }
 
   bool write_json(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) return false;
-    out << "{\n  \"benchmark\": \"" << benchmark_ << "\",\n  \"results\": [\n";
-    for (std::size_t i = 0; i < results_.size(); ++i) {
-      const PerfResult& r = results_[i];
-      out << "    {\"name\": \"" << r.name << "\", "
-          << "\"cycles_per_sec\": " << std::llround(r.cycles_per_sec) << ", "
-          << "\"sim_cycles\": " << r.sim_cycles << ", "
-          << "\"seconds\": " << r.seconds << ", "
-          << "\"packets_delivered\": " << r.packets_delivered << ", "
-          << "\"flits_forwarded\": " << r.flits_forwarded << ", "
-          << "\"avg_latency\": " << r.avg_latency << "}"
-          << (i + 1 < results_.size() ? "," : "") << "\n";
+    json::Object root;
+    root["benchmark"] = json::Value(benchmark_);
+    json::Array results;
+    for (const PerfResult& r : results_) {
+      json::Object row;
+      row["name"] = json::Value(r.name);
+      row["cycles_per_sec"] = json::Value(
+          static_cast<long long>(std::llround(r.cycles_per_sec)));
+      row["sim_cycles"] = json::Value(static_cast<long long>(r.sim_cycles));
+      row["seconds"] = json::Value(r.seconds);
+      row["packets_delivered"] =
+          json::Value(static_cast<long long>(r.packets_delivered));
+      row["flits_forwarded"] =
+          json::Value(static_cast<long long>(r.flits_forwarded));
+      row["avg_latency"] = json::Value(r.avg_latency);
+      results.push_back(json::Value(std::move(row)));
     }
-    out << "  ]\n}\n";
-    return static_cast<bool>(out);
+    root["results"] = json::Value(std::move(results));
+    try {
+      json::dump_file(json::Value(std::move(root)), path);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
   }
 
   /// Compares against a baseline emitted by write_json. Returns true when

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -63,6 +64,17 @@ struct RequestTrace {
 
   [[nodiscard]] std::size_t size() const noexcept { return epochs.size(); }
   [[nodiscard]] bool empty() const noexcept { return epochs.empty(); }
+
+  /// Versioned binary persistence (the ROADMAP's "iterate on detectors
+  /// without re-simulating at all"): save() writes a little-endian,
+  /// magic-tagged file; load() accepts exactly that format and throws
+  /// std::runtime_error on a bad magic, an unsupported version or a
+  /// truncated body. load(save(x)) == x field for field, so a replayed
+  /// report off a loaded trace is bit-identical to one off the recording
+  /// run (tests/core/trace_replay_test.cpp locks the round trip).
+  /// Surfaced on the CLI as `htpb_run --record-trace / --replay-trace`.
+  void save(const std::string& path) const;
+  [[nodiscard]] static RequestTrace load(const std::string& path);
 
   friend bool operator==(const RequestTrace&, const RequestTrace&) = default;
 };

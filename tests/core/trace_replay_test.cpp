@@ -10,8 +10,14 @@
 //     completes: the self-history EWMA anchors to the attacked level and
 //     misses it; the cohort-median detector catches it from the same
 //     trace.
+//  4. Disk persistence -- save/load round trips a trace exactly, replay
+//     off the loaded trace is bit-identical, and corrupt files are
+//     rejected instead of misread.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/campaign.hpp"
@@ -205,6 +211,111 @@ TEST(TraceReplay, EpochZeroAttackMissedByEwmaCaughtByCohort) {
   const auto live = in_sim.run_detection_only(placement);
   ASSERT_TRUE(live.has_value());
   EXPECT_EQ(*live, cohort_report);
+}
+
+/// Self-deleting temp path under the ctest working directory.
+class TempFile {
+ public:
+  explicit TempFile(std::string name) : path_(std::move(name)) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(TraceIo, SaveLoadRoundTripsExactly) {
+  const CampaignConfig cfg = base_config();
+  const auto placement = placements_for(cfg).front();
+  CampaignConfig record_cfg = cfg;
+  record_cfg.detector.reset();
+  AttackCampaign campaign(record_cfg);
+  const power::RequestTrace trace = campaign.record_trace(placement);
+  ASSERT_FALSE(trace.empty());
+
+  const TempFile file("trace_io_roundtrip.htpbtrc");
+  trace.save(file.path());
+  const power::RequestTrace loaded = power::RequestTrace::load(file.path());
+
+  // Field-for-field equality, epochs and requests included.
+  EXPECT_EQ(loaded, trace);
+
+  // Replay off the loaded trace is bit-identical to replay off the
+  // in-memory recording -- detector research can iterate purely on files.
+  power::DetectorConfig ewma;
+  power::DetectorConfig cohort;
+  cohort.kind = power::DetectorKind::kCohortMedian;
+  EXPECT_EQ(power::replay_detector(loaded, ewma),
+            power::replay_detector(trace, ewma));
+  EXPECT_EQ(power::replay_detector(loaded, cohort),
+            power::replay_detector(trace, cohort));
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  power::RequestTrace trace;
+  trace.node_count = 16;
+  trace.epoch_cycles = 500;
+  const TempFile file("trace_io_empty.htpbtrc");
+  trace.save(file.path());
+  EXPECT_EQ(power::RequestTrace::load(file.path()), trace);
+}
+
+TEST(TraceIo, RejectsCorruptAndForeignFiles) {
+  EXPECT_THROW((void)power::RequestTrace::load("does_not_exist.htpbtrc"),
+               std::runtime_error);
+
+  const TempFile garbage("trace_io_garbage.htpbtrc");
+  {
+    std::ofstream out(garbage.path(), std::ios::binary);
+    out << "{\"this\": \"is json, not a trace\"}";
+  }
+  EXPECT_THROW((void)power::RequestTrace::load(garbage.path()),
+               std::runtime_error);
+
+  // Truncation inside the epoch stream must throw, not misread.
+  const CampaignConfig cfg = base_config();
+  const auto placement = placements_for(cfg).front();
+  CampaignConfig record_cfg = cfg;
+  record_cfg.detector.reset();
+  AttackCampaign campaign(record_cfg);
+  const power::RequestTrace trace = campaign.record_trace(placement);
+  const TempFile whole("trace_io_whole.htpbtrc");
+  trace.save(whole.path());
+
+  std::string bytes;
+  {
+    std::ifstream in(whole.path(), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  const TempFile cut("trace_io_truncated.htpbtrc");
+  {
+    std::ofstream out(cut.path(), std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW((void)power::RequestTrace::load(cut.path()),
+               std::runtime_error);
+
+  // A flipped version field is rejected by number, not misread.
+  const TempFile wrong_version("trace_io_version.htpbtrc");
+  {
+    std::string v = bytes;
+    v[8] = 99;  // version u32 starts right after the 8-byte magic
+    std::ofstream out(wrong_version.path(), std::ios::binary);
+    out.write(v.data(), static_cast<std::streamsize>(v.size()));
+  }
+  EXPECT_THROW((void)power::RequestTrace::load(wrong_version.path()),
+               std::runtime_error);
+
+  // Trailing bytes after a well-formed body are rejected too.
+  const TempFile padded("trace_io_padded.htpbtrc");
+  {
+    std::ofstream out(padded.path(), std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out << "extra";
+  }
+  EXPECT_THROW((void)power::RequestTrace::load(padded.path()),
+               std::runtime_error);
 }
 
 }  // namespace

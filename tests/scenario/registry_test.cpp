@@ -1,0 +1,75 @@
+// The registry contract: the expected scenario set, spec validity, exact
+// JSON round trips for every registered spec (an acceptance criterion of
+// the scenario API), and valid quick overlays.
+#include "scenario/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace htpb::scenario {
+namespace {
+
+TEST(ScenarioRegistry, RegistersEveryPaperExperiment) {
+  std::vector<std::string> names;
+  for (const ScenarioSpec& spec : registry()) names.push_back(spec.name);
+  const std::vector<std::string> expected = {
+      "fig3",           "fig4",
+      "fig5",           "fig6",
+      "table1",         "table2",
+      "secIIID-area-power", "secVC-placement",
+      "defense-roc",    "defense-evaluation",
+      "attack-comparison", "budgeter-ablation"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(ScenarioRegistry, NamesAreUnique) {
+  std::set<std::string> seen;
+  for (const ScenarioSpec& spec : registry()) {
+    EXPECT_TRUE(seen.insert(spec.name).second) << spec.name;
+  }
+}
+
+TEST(ScenarioRegistry, EverySpecValidates) {
+  for (const ScenarioSpec& spec : registry()) {
+    EXPECT_NO_THROW(spec.validate()) << spec.name;
+    EXPECT_FALSE(spec.title.empty()) << spec.name;
+    EXPECT_FALSE(spec.paper_ref.empty()) << spec.name;
+  }
+}
+
+TEST(ScenarioRegistry, EverySpecRoundTripsThroughJsonExactly) {
+  for (const ScenarioSpec& spec : registry()) {
+    const json::Value j = spec.to_json();
+    const ScenarioSpec back = ScenarioSpec::from_json(j);
+    EXPECT_EQ(back, spec) << spec.name;
+    // And through the text form too (what --scenario file.json reads).
+    const ScenarioSpec from_text =
+        ScenarioSpec::from_json(json::parse(json::dump(j, 2)));
+    EXPECT_EQ(from_text, spec) << spec.name;
+  }
+}
+
+TEST(ScenarioRegistry, QuickOverlaysApplyAndValidate) {
+  for (const ScenarioSpec& spec : registry()) {
+    ScenarioSpec quick;
+    ASSERT_NO_THROW(quick = spec.with_quick()) << spec.name;
+    EXPECT_NO_THROW(quick.validate()) << spec.name;
+    if (!spec.quick.is_null()) {
+      EXPECT_FALSE(quick == spec) << spec.name
+                                  << ": quick overlay changed nothing";
+    }
+  }
+}
+
+TEST(ScenarioRegistry, LookupByName) {
+  ASSERT_NE(find_scenario("fig5"), nullptr);
+  EXPECT_EQ(find_scenario("fig5")->kind, ScenarioKind::kAttackEffect);
+  EXPECT_EQ(find_scenario("nope"), nullptr);
+  EXPECT_NO_THROW((void)scenario_or_throw("defense-roc"));
+  EXPECT_THROW((void)scenario_or_throw("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htpb::scenario

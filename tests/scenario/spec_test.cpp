@@ -1,0 +1,229 @@
+// The ScenarioSpec serialization contract: exact JSON round trips,
+// unknown-key rejection, schema versioning, exhaustive enum <-> string
+// maps, the quick overlay, the --set override grammar and the builder.
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.hpp"
+
+namespace htpb::scenario {
+namespace {
+
+/// A spec exercising every section and most axis fields with non-default
+/// values (the round trip must preserve each one).
+ScenarioSpec full_spec() {
+  ScenarioBuilder b("kitchen-sink", ScenarioKind::kDefenseSweep);
+  b.title("t").paper_ref("p").expectation("e");
+  b.mesh(10, 6)
+      .epoch_cycles(1234)
+      .first_epoch_cycle(77)
+      .budget_fraction(0.37)
+      .budgeter(power::BudgeterKind::kMarket)
+      .guard_requests(true)
+      .gm_placement(system::GmPlacement::kCorner)
+      .mix("mix-2")
+      .threads_per_app(4)
+      .trojan_active(false)
+      .victim_scale(0.21)
+      .attacker_boost(5.5)
+      .toggle_period(3)
+      .warmup_epochs(1)
+      .measure_epochs(4)
+      .seed(987654321)
+      .threads(3)
+      .quick(R"({"epochs": {"measure": 2}})");
+  DetectorSpec det;
+  det.kind = power::DetectorKind::kCohortMedian;
+  det.low_ratio = 0.5;
+  det.high_ratio = 1.9;
+  det.history_alpha = 0.3;
+  det.warmup_epochs = 1;
+  det.confirm_epochs = 3;
+  b.detector(det);
+  b.system().seed = 17;
+  b.axes().bands = {{0.7, 1.4}, {0.33, 2.9}};
+  b.axes().placements = {{ClusterSpec::At::kQuarter, 6},
+                         {ClusterSpec::At::kCorner, 4}};
+  b.axes().roc.periods = {0, 2};
+  b.axes().roc.factors = {0.25, 0.75};
+  b.axes().roc.placements = 1;
+  b.axes().roc.epoch0_first_epoch_cycle = 555;
+  return b.build();
+}
+
+TEST(ScenarioSpec, RoundTripIsExact) {
+  const ScenarioSpec spec = full_spec();
+  const json::Value j = spec.to_json();
+  const ScenarioSpec back = ScenarioSpec::from_json(j);
+  EXPECT_EQ(back, spec);
+  // Text-level stability: dump -> parse -> dump is a fixed point.
+  const std::string text = json::dump(j, 2);
+  EXPECT_EQ(json::dump(json::parse(text), 2), text);
+}
+
+TEST(ScenarioSpec, RejectsUnknownKeysEverywhere) {
+  const auto corrupt = [](const char* path, const char* key) {
+    json::Value j = full_spec().to_json();
+    json::Value* node = &j;
+    if (path[0] != '\0') node = node->as_object().find(path);
+    ASSERT_NE(node, nullptr) << path;
+    node->as_object()[key] = json::Value(1);
+    EXPECT_THROW((void)ScenarioSpec::from_json(j), std::runtime_error)
+        << path << "." << key;
+  };
+  corrupt("", "victim_scale");      // top level (belongs under trojan)
+  corrupt("system", "epochCycles"); // typo'd casing
+  corrupt("trojan", "scale");
+  corrupt("epochs", "cooldown");
+  corrupt("axes", "band");          // singular typo of "bands"
+  corrupt("detector", "threshold");
+}
+
+TEST(ScenarioSpec, RejectsWrongSchemaVersion) {
+  json::Value j = full_spec().to_json();
+  j.as_object()["schema_version"] = json::Value(2);
+  EXPECT_THROW((void)ScenarioSpec::from_json(j), std::runtime_error);
+  j.as_object()["schema_version"] = json::Value(0);
+  EXPECT_THROW((void)ScenarioSpec::from_json(j), std::runtime_error);
+}
+
+TEST(ScenarioSpec, EnumStringMapsAreCompleteAndInvertible) {
+  for (int i = 0; i < kScenarioKindCount; ++i) {
+    const auto kind = static_cast<ScenarioKind>(i);
+    EXPECT_STRNE(to_string(kind), "?");
+    EXPECT_EQ(scenario_kind_from_string(to_string(kind)), kind);
+  }
+  for (const auto p : {system::GmPlacement::kCenter,
+                       system::GmPlacement::kCorner}) {
+    EXPECT_EQ(gm_placement_from_string(to_string(p)), p);
+  }
+  for (const auto k : {power::DetectorKind::kSelfEwma,
+                       power::DetectorKind::kCohortMedian}) {
+    EXPECT_EQ(detector_kind_from_string(to_string(k)), k);
+  }
+  for (int i = 0; i < ClusterSpec::kAtCount; ++i) {
+    const auto at = static_cast<ClusterSpec::At>(i);
+    EXPECT_STRNE(to_string(at), "?");
+    EXPECT_EQ(cluster_at_from_string(to_string(at)), at);
+  }
+  for (const auto b :
+       {power::BudgeterKind::kUniform, power::BudgeterKind::kGreedy,
+        power::BudgeterKind::kProportional,
+        power::BudgeterKind::kDynamicProgramming,
+        power::BudgeterKind::kMarket}) {
+    EXPECT_EQ(budgeter_kind_from_string(power::to_string(b)), b);
+  }
+  EXPECT_THROW((void)scenario_kind_from_string("fig99"),
+               std::invalid_argument);
+  EXPECT_THROW((void)gm_placement_from_string("middle"),
+               std::invalid_argument);
+  EXPECT_THROW((void)detector_kind_from_string("oracle"),
+               std::invalid_argument);
+  EXPECT_THROW((void)budgeter_kind_from_string("fair"),
+               std::invalid_argument);
+  EXPECT_THROW((void)cluster_at_from_string("edge"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, DetectorSpecBridgesDetectorConfigExactly) {
+  DetectorSpec spec;
+  spec.kind = power::DetectorKind::kCohortMedian;
+  spec.low_ratio = 0.31;
+  spec.high_ratio = 2.7;
+  spec.history_alpha = 0.4;
+  spec.warmup_epochs = 5;
+  spec.confirm_epochs = 1;
+  EXPECT_EQ(DetectorSpec::from_config(spec.to_config()), spec);
+}
+
+TEST(ScenarioSpec, QuickOverlayMergesObjectsAndReplacesArrays) {
+  const ScenarioSpec spec = full_spec();
+  const ScenarioSpec quick = spec.with_quick();
+  EXPECT_EQ(quick.epochs.measure, 2);   // patched
+  EXPECT_EQ(quick.epochs.warmup, 1);    // sibling untouched
+  EXPECT_EQ(quick.axes.bands, spec.axes.bands);
+  EXPECT_TRUE(quick.quick.is_null());   // overlay consumed
+
+  // Arrays replace wholesale.
+  ScenarioSpec arr = spec;
+  arr.quick = json::parse(R"({"axes": {"bands": [{"low": 0.5,
+                                                  "high": 2.0}]}})");
+  const ScenarioSpec arr_quick = arr.with_quick();
+  ASSERT_EQ(arr_quick.axes.bands.size(), 1U);
+  EXPECT_DOUBLE_EQ(arr_quick.axes.bands[0].low, 0.5);
+
+  // A typo'd overlay key is rejected, not ignored.
+  ScenarioSpec bad = spec;
+  bad.quick = json::parse(R"({"epochs": {"measur": 2}})");
+  EXPECT_THROW((void)bad.with_quick(), std::runtime_error);
+
+  // No overlay = unchanged.
+  ScenarioSpec none = spec;
+  none.quick = json::Value();
+  EXPECT_EQ(none.with_quick(), none);
+}
+
+TEST(ScenarioSpec, ApplyOverrideGrammar) {
+  json::Value j = full_spec().to_json();
+  apply_override(j, "trojan.victim_scale", "0.5");
+  apply_override(j, "epochs.measure", "7");
+  apply_override(j, "workload.mix", "mix-3");  // bare string
+  apply_override(j, "axes.bands", R"([{"low": 0.4, "high": 2.5}])");
+  const ScenarioSpec spec = ScenarioSpec::from_json(j);
+  EXPECT_DOUBLE_EQ(spec.trojan.victim_scale, 0.5);
+  EXPECT_EQ(spec.epochs.measure, 7);
+  EXPECT_EQ(spec.workload.mix, "mix-3");
+  ASSERT_EQ(spec.axes.bands.size(), 1U);
+  EXPECT_DOUBLE_EQ(spec.axes.bands[0].high, 2.5);
+
+  // Paths crossing a scalar are an error, not a silent overwrite.
+  EXPECT_THROW(apply_override(j, "name.sub", "1"), std::runtime_error);
+  EXPECT_THROW(apply_override(j, "a..b", "1"), std::runtime_error);
+  // Unknown keys introduced by --set surface at parse time.
+  apply_override(j, "trojan.scale", "0.5");
+  EXPECT_THROW((void)ScenarioSpec::from_json(j), std::runtime_error);
+}
+
+TEST(ScenarioSpec, ValidateCatchesBadSpecs) {
+  ScenarioSpec spec = full_spec();
+  spec.trojan.victim_scale = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = full_spec();
+  spec.axes.bands.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = full_spec();
+  spec.workload.mix = "mix-9";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = full_spec();
+  spec.axes.roc.placements = 99;  // exceeds axes.placements
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = full_spec();
+  spec.system.width = 1;  // below the 2x2 mesh floor
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, BuilderValidatesAtBuildTime) {
+  ScenarioBuilder b("bad", ScenarioKind::kDefenseSweep);
+  EXPECT_THROW((void)b.build(), std::invalid_argument);  // no bands
+
+  ScenarioBuilder typo("typo", ScenarioKind::kBudgeterAblation);
+  typo.mix("mix-1");
+  typo.axes().budgeters = {power::BudgeterKind::kGreedy};
+  typo.quick(R"({"epoch": {"measure": 2}})");  // typo'd section
+  EXPECT_THROW((void)typo.build(), std::runtime_error);
+}
+
+TEST(ScenarioSpec, MeshForSizeCoversPaperPresetsOnly) {
+  EXPECT_EQ(mesh_for_size(64), (std::pair<int, int>{8, 8}));
+  EXPECT_EQ(mesh_for_size(128), (std::pair<int, int>{16, 8}));
+  EXPECT_EQ(mesh_for_size(256), (std::pair<int, int>{16, 16}));
+  EXPECT_EQ(mesh_for_size(512), (std::pair<int, int>{32, 16}));
+  EXPECT_THROW((void)mesh_for_size(100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htpb::scenario
