@@ -1,9 +1,11 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "core/infection.hpp"
 #include "system/manycore_system.hpp"
@@ -29,6 +31,15 @@ workload::Mix uniform_mix() {
 
 AttackCampaign::AttackCampaign(CampaignConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.system.validate();
+  if (cfg_.response.has_value() && !cfg_.detector.has_value()) {
+    throw std::invalid_argument(
+        "AttackCampaign: a response policy requires a detector to act on");
+  }
+  if (cfg_.trojan.adapt.enabled && cfg_.toggle_period_epochs > 0) {
+    throw std::invalid_argument(
+        "AttackCampaign: adaptation and toggle_period_epochs are rival "
+        "duty-cycle controllers; enable one");
+  }
   const workload::Mix mix = cfg_.mix.value_or(uniform_mix());
   const int nodes = cfg_.system.node_count();
   int threads = cfg_.threads_per_app;
@@ -64,107 +75,322 @@ AttackCampaign::AttackCampaign(CampaignConfig cfg) : cfg_(std::move(cfg)) {
 
 AttackCampaign::RunResult AttackCampaign::run_system(
     std::span<const NodeId> ht_nodes, power::RequestTrace* trace) {
-  g_systems_simulated.fetch_add(1, std::memory_order_relaxed);
-  system::ManyCoreSystem sys(cfg_.system, apps_);
-
   // The detector lives exactly as long as this run: constructed fresh
-  // from the config (never shared across runs or placements), attached to
-  // this run's manager, and reduced to a report before the system dies.
+  // from the config (never shared across runs or placements) and reduced
+  // to a report before the run ends. For a migrating run it spans BOTH
+  // legs -- migration must not wipe the defender's accumulated evidence.
   std::unique_ptr<power::RequestAnomalyDetector> detector;
   if (cfg_.detector.has_value() && !ht_nodes.empty()) {
     detector = cfg_.detector_factory ? cfg_.detector_factory(*cfg_.detector)
                                      : power::make_detector(*cfg_.detector);
-    sys.gm().attach_detector(detector.get());
   }
+  std::unique_ptr<power::ResponseEngine> response;
+  if (cfg_.response.has_value() && detector != nullptr) {
+    response = std::make_unique<power::ResponseEngine>(*cfg_.response);
+    response->attach_detector(detector.get());
+  }
+  const bool migrate_mode =
+      response != nullptr && response->kind() == power::ResponseKind::kMigrate;
+
   if (trace != nullptr) {
     trace->epochs.clear();
     trace->node_count = cfg_.system.node_count();
     trace->epoch_cycles = cfg_.system.epoch_cycles;
-    sys.gm().attach_recorder(trace);
   }
-
-  // Duty-cycle toggle state. Owned by this frame -- alive across
-  // sys.run_epochs below, gone with it -- NOT by the scheduled closures:
-  // the old wiring stored the toggle in a shared_ptr<std::function> whose
-  // closure captured that same shared_ptr by value, a reference cycle
-  // that leaked one function + TrojanConfig per duty-cycled run.
-  TrojanConfig toggle_state;
-  std::function<void()> toggle_fn;
-
-  // Implant the Trojans (fab-time insertion: present before power-on).
-  std::vector<std::unique_ptr<HardwareTrojan>> trojans;
-  trojans.reserve(ht_nodes.size());
-  for (const NodeId node : ht_nodes) {
-    auto ht = std::make_unique<HardwareTrojan>(node);
-    sys.network().add_inspector(node, ht.get());
-    trojans.push_back(std::move(ht));
-  }
-
-  // The attacker's agent broadcasts the configuration at power-on. A
-  // unicast to every node covers every router under XY routing (the union
-  // of the paths from one source to all destinations is the full mesh).
-  if (!ht_nodes.empty()) {
-    TrojanConfig tc = cfg_.trojan;
-    tc.global_manager = gm_node_;
-    tc.attacker_agents.clear();
-    for (const auto& app : apps_) {
-      if (!app.is_attacker()) continue;
-      tc.attacker_agents.insert(tc.attacker_agents.end(), app.cores.begin(),
-                                app.cores.end());
-    }
-    if (tc.attacker_agents.empty()) tc.attacker_agents.push_back(agent_node_);
-
-    const auto broadcast = [&sys, this](const TrojanConfig& config) {
-      for (NodeId n = 0; n < static_cast<NodeId>(cfg_.system.node_count());
-           ++n) {
-        auto pkt = sys.network().make_packet(agent_node_, n,
-                                             noc::PacketType::kConfigCmd);
-        encode_config(config, *pkt);
-        sys.network().send(std::move(pkt));
-      }
-    };
-    broadcast(tc);
-
-    if (cfg_.toggle_period_epochs > 0) {
-      // Periodic ON/OFF re-broadcasts (Sec. III-B duty-cycling). The
-      // closure re-schedules the frame-owned toggle_fn by reference
-      // (each engine event holds its own copy of the closure, never an
-      // owning handle to itself); `broadcast` is captured by value
-      // because it dies with this block.
-      const Cycle period = static_cast<Cycle>(cfg_.toggle_period_epochs) *
-                           cfg_.system.epoch_cycles;
-      toggle_state = tc;
-      toggle_fn = [&sys, broadcast, period, &state = toggle_state,
-                   &self = toggle_fn]() {
-        state.active = !state.active;
-        broadcast(state);
-        sys.engine().schedule_in(period, self);
-      };
-      sys.engine().schedule_in(period, toggle_fn);
-    }
-  }
-
-  sys.run_epochs(cfg_.warmup_epochs);
-  sys.reset_measurement();
-  sys.run_epochs(cfg_.measure_epochs);
 
   RunResult result;
+  std::vector<double> instr(apps_.size(), 0.0);
+  double infection_epoch_sum = 0.0;
+  int measured_total = 0;
+  AdaptationOutcome adapt_totals;
+  bool adapt_engaged = false;
+
+  // Does the cumulative report contain a verdict the configured trigger
+  // listens to? (The migrate policy's "first confirmed flag".)
+  const auto triggered = [this](const power::DetectorReport& report) {
+    if (!cfg_.response.has_value()) return false;
+    switch (cfg_.response->trigger) {
+      case power::ResponseTrigger::kHigh: return !report.flagged_high.empty();
+      case power::ResponseTrigger::kLow: return !report.flagged_low.empty();
+      case power::ResponseTrigger::kBoth: return report.any();
+    }
+    return false;
+  };
+
+  // One simulated chip lifetime ("leg"): a non-migrating run is a single
+  // full leg; a migrating run is a pre-migration leg cut short at the
+  // triggering epoch boundary plus a remapped leg for the remaining
+  // epochs. Returns the number of epochs actually measured.
+  const auto run_leg = [&](const std::vector<workload::Application>& apps,
+                           int measure_epochs, bool stop_on_flag) -> int {
+    g_systems_simulated.fetch_add(1, std::memory_order_relaxed);
+    system::ManyCoreSystem sys(cfg_.system, apps);
+    if (detector != nullptr) sys.gm().attach_detector(detector.get());
+    // Quarantine/throttle filter inside the manager; the migrate engine
+    // never filters -- re-placement is this layer's move.
+    if (response != nullptr && !migrate_mode) {
+      sys.gm().attach_response(response.get());
+    }
+    if (trace != nullptr) sys.gm().attach_recorder(trace);
+
+    // Duty-cycle toggle state. Owned by this frame -- alive across
+    // sys.run_epochs below, gone with it -- NOT by the scheduled
+    // closures: the old wiring stored the toggle in a
+    // shared_ptr<std::function> whose closure captured that same
+    // shared_ptr by value, a reference cycle that leaked one function +
+    // TrojanConfig per duty-cycled run.
+    TrojanConfig toggle_state;
+    std::function<void()> toggle_fn;
+    // Adaptive-agent state, same ownership pattern.
+    struct AdaptState {
+      bool active = true;
+      int on_streak = 0;
+      int hold = 0;
+      double reference = 0.0;
+      bool reference_valid = false;
+    };
+    AdaptState adapt_state;
+    std::function<void()> adapt_fn;
+
+    // Implant the Trojans (fab-time insertion: present before power-on).
+    std::vector<std::unique_ptr<HardwareTrojan>> trojans;
+    trojans.reserve(ht_nodes.size());
+    for (const NodeId node : ht_nodes) {
+      auto ht = std::make_unique<HardwareTrojan>(node);
+      sys.network().add_inspector(node, ht.get());
+      trojans.push_back(std::move(ht));
+    }
+
+    // The attacker's agent broadcasts the configuration at power-on. A
+    // unicast to every node covers every router under XY routing (the
+    // union of the paths from one source to all destinations is the full
+    // mesh).
+    if (!ht_nodes.empty()) {
+      TrojanConfig tc = cfg_.trojan;
+      tc.global_manager = gm_node_;
+      tc.attacker_agents.clear();
+      for (const auto& app : apps) {
+        if (!app.is_attacker()) continue;
+        tc.attacker_agents.insert(tc.attacker_agents.end(), app.cores.begin(),
+                                  app.cores.end());
+      }
+      // Derived from this leg's mapping so a migrated agent broadcasts
+      // from its new core (leg 1 reproduces agent_node_ exactly).
+      NodeId agent_node = agent_node_;
+      if (!cfg_.attacker_agent.has_value() && !tc.attacker_agents.empty()) {
+        agent_node = tc.attacker_agents.front();
+      }
+      if (tc.attacker_agents.empty()) tc.attacker_agents.push_back(agent_node);
+
+      const auto broadcast = [&sys, agent_node,
+                              this](const TrojanConfig& config) {
+        for (NodeId n = 0; n < static_cast<NodeId>(cfg_.system.node_count());
+             ++n) {
+          auto pkt = sys.network().make_packet(agent_node, n,
+                                               noc::PacketType::kConfigCmd);
+          encode_config(config, *pkt);
+          sys.network().send(std::move(pkt));
+        }
+      };
+      broadcast(tc);
+
+      if (cfg_.toggle_period_epochs > 0) {
+        // Periodic ON/OFF re-broadcasts (Sec. III-B duty-cycling). The
+        // closure re-schedules the frame-owned toggle_fn by reference
+        // (each engine event holds its own copy of the closure, never an
+        // owning handle to itself); `broadcast` is captured by value
+        // because it dies with this block.
+        const Cycle period = static_cast<Cycle>(cfg_.toggle_period_epochs) *
+                             cfg_.system.epoch_cycles;
+        toggle_state = tc;
+        toggle_fn = [&sys, broadcast, period, &state = toggle_state,
+                     &self = toggle_fn]() {
+          state.active = !state.active;
+          broadcast(state);
+          sys.engine().schedule_in(period, self);
+        };
+        sys.engine().schedule_in(period, toggle_fn);
+      }
+
+      if (tc.adapt.enabled) {
+        // The closed loop's attacker half (TrojanAdaptation): one
+        // decision per epoch, taken one cycle before the next epoch
+        // opens -- every grant of the closing epoch has landed and the
+        // re-broadcast deterministically precedes the next requests.
+        adapt_engaged = true;
+        adapt_state.active = tc.active;
+        const Cycle period = cfg_.system.epoch_cycles;
+        adapt_fn = [&sys, broadcast, tc, period, &st = adapt_state,
+                    &totals = adapt_totals, &self = adapt_fn]() {
+          double sum = 0.0;
+          for (const NodeId n : tc.attacker_agents) {
+            sum += static_cast<double>(sys.last_grant_mw(n));
+          }
+          const double mean_grant =
+              tc.attacker_agents.empty()
+                  ? 0.0
+                  : sum / static_cast<double>(tc.attacker_agents.size());
+          if (st.active) {
+            ++totals.epochs_on;
+            ++st.on_streak;
+            // A grant well below the hiding-time reference means a
+            // sanction landed; back off longer than a voluntary rest.
+            const bool sanctioned =
+                st.reference_valid &&
+                mean_grant < tc.adapt.backoff_ratio * st.reference;
+            if (sanctioned || st.on_streak >= tc.adapt.max_on_epochs) {
+              st.active = false;
+              st.on_streak = 0;
+              st.hold = sanctioned ? 2 * tc.adapt.hold_off_epochs
+                                   : tc.adapt.hold_off_epochs;
+              if (sanctioned) ++totals.backoffs;
+              TrojanConfig off = tc;
+              off.active = false;
+              broadcast(off);
+            }
+          } else {
+            ++totals.epochs_off;
+            st.reference = st.reference_valid
+                               ? (1.0 - tc.adapt.alpha) * st.reference +
+                                     tc.adapt.alpha * mean_grant
+                               : mean_grant;
+            st.reference_valid = true;
+            if (--st.hold <= 0) {
+              st.active = true;
+              TrojanConfig on = tc;
+              on.active = true;
+              broadcast(on);
+            }
+          }
+          sys.engine().schedule_in(period, self);
+        };
+        sys.engine().schedule_in(
+            cfg_.system.first_epoch_cycle + cfg_.system.epoch_cycles - 1,
+            adapt_fn);
+      }
+    }
+
+    sys.run_epochs(cfg_.warmup_epochs);
+    sys.reset_measurement();
+    int measured = 0;
+    if (stop_on_flag && detector != nullptr) {
+      // Epoch-by-epoch is bit-identical to one run_epochs call (the
+      // engine just advances cycles); it only adds the boundary checks.
+      for (int e = 0; e < measure_epochs; ++e) {
+        sys.run_epochs(1);
+        ++measured;
+        if (triggered(detector->cumulative())) break;
+      }
+    } else {
+      sys.run_epochs(measure_epochs);
+      measured = measure_epochs;
+    }
+
+    const double elapsed =
+        static_cast<double>(measured) *
+        static_cast<double>(cfg_.system.epoch_cycles);
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      instr[i] += sys.app_throughput(apps_[i].id) * elapsed;
+    }
+    if (result.phi.empty()) {
+      result.phi.resize(apps_.size());
+      for (std::size_t i = 0; i < apps_.size(); ++i) {
+        result.phi[i] = sys.app_sensitivity(apps_[i].id);
+      }
+    }
+    infection_epoch_sum +=
+        sys.measured_infection_rate() * static_cast<double>(measured);
+    measured_total += measured;
+
+    const auto& hist = sys.gm().history();
+    const std::size_t first =
+        hist.size() >= static_cast<std::size_t>(measured)
+            ? hist.size() - static_cast<std::size_t>(measured)
+            : 0;
+    for (std::size_t i = first; i < hist.size(); ++i) {
+      result.victim_grants.push_back(
+          static_cast<double>(hist[i].victim_granted_mw));
+    }
+
+    for (const auto& ht : trojans) {
+      const TrojanStats& s = ht->stats();
+      result.trojan_totals.config_packets_seen += s.config_packets_seen;
+      result.trojan_totals.power_requests_seen += s.power_requests_seen;
+      result.trojan_totals.victim_requests_modified +=
+          s.victim_requests_modified;
+      result.trojan_totals.attacker_requests_boosted +=
+          s.attacker_requests_boosted;
+    }
+    return measured;
+  };
+
+  const int measured1 = run_leg(apps_, cfg_.measure_epochs, migrate_mode);
+
+  if (migrate_mode && triggered(detector->cumulative())) {
+    // Migration bookkeeping: the cores whose confirmed flags pulled the
+    // trigger, stamped with the observed-epoch index of the boundary.
+    power::ResponseStats stats;
+    const power::DetectorReport& cum = detector->cumulative();
+    const auto collect = [&stats](const std::vector<NodeId>& flagged) {
+      for (const NodeId n : flagged) {
+        if (std::find(stats.sanctioned_cores.begin(),
+                      stats.sanctioned_cores.end(),
+                      n) == stats.sanctioned_cores.end()) {
+          stats.sanctioned_cores.push_back(n);
+        }
+      }
+    };
+    if (cfg_.response->trigger != power::ResponseTrigger::kLow) {
+      collect(cum.flagged_high);
+    }
+    if (cfg_.response->trigger != power::ResponseTrigger::kHigh) {
+      collect(cum.flagged_low);
+    }
+    stats.first_sanction_epoch = cfg_.warmup_epochs + measured1 - 1;
+    result.response_stats = stats;
+
+    if (measured1 < cfg_.measure_epochs) {
+      // Re-place every application through the mesh's center mirror
+      // (an involution, so the remap is collision-free) and resume for
+      // the remaining epochs. Modeled as rebuild-and-resume at the
+      // epoch boundary: caches and histories re-warm on the new
+      // placement, the detector carries its evidence across.
+      const MeshGeometry geom(cfg_.system.width, cfg_.system.height);
+      std::vector<workload::Application> migrated = apps_;
+      for (auto& app : migrated) {
+        for (NodeId& core : app.cores) {
+          const Coord c = geom.coord_of(core);
+          core = geom.id_of(Coord{geom.width() - 1 - c.x,
+                                  geom.height() - 1 - c.y});
+        }
+      }
+      result.migrations = 1;
+      run_leg(migrated, cfg_.measure_epochs - measured1, false);
+    }
+  } else if (migrate_mode) {
+    result.response_stats = power::ResponseStats{};
+  } else if (response != nullptr) {
+    result.response_stats = response->stats();
+  }
+
+  const double total_cycles =
+      static_cast<double>(measured_total) *
+      static_cast<double>(cfg_.system.epoch_cycles);
   result.theta.resize(apps_.size());
-  result.phi.resize(apps_.size());
   for (std::size_t i = 0; i < apps_.size(); ++i) {
-    result.theta[i] = sys.app_throughput(apps_[i].id);
-    result.phi[i] = sys.app_sensitivity(apps_[i].id);
+    result.theta[i] = total_cycles > 0.0 ? instr[i] / total_cycles : 0.0;
   }
-  result.infection = sys.measured_infection_rate();
-  for (const auto& ht : trojans) {
-    const TrojanStats& s = ht->stats();
-    result.trojan_totals.config_packets_seen += s.config_packets_seen;
-    result.trojan_totals.power_requests_seen += s.power_requests_seen;
-    result.trojan_totals.victim_requests_modified +=
-        s.victim_requests_modified;
-    result.trojan_totals.attacker_requests_boosted +=
-        s.attacker_requests_boosted;
+  result.infection = measured_total > 0
+                         ? infection_epoch_sum /
+                               static_cast<double>(measured_total)
+                         : 0.0;
+  if (!result.victim_grants.empty()) {
+    double sum = 0.0;
+    for (const double v : result.victim_grants) sum += v;
+    result.mean_victim_grant_mw =
+        sum / static_cast<double>(result.victim_grants.size());
   }
+  if (adapt_engaged) result.adaptation = adapt_totals;
   if (detector != nullptr) result.detection = detector->cumulative();
   return result;
 }
@@ -254,6 +480,51 @@ CampaignOutcome AttackCampaign::reduce_outcome(
   if (!change_attackers.empty() && !change_victims.empty()) {
     out.q_valid = true;
     out.q = attack_effect_q(change_attackers, change_victims);
+  }
+
+  out.adaptation = attacked.adaptation;
+  if (attacked.response_stats.has_value() && cfg_.response.has_value()) {
+    const power::ResponseStats& stats = *attacked.response_stats;
+    ResponseOutcome ro;
+    ro.kind = cfg_.response->kind;
+    ro.trigger = cfg_.response->trigger;
+    ro.sanctioned_cores = stats.sanctioned_cores;
+    ro.sanction_core_epochs = stats.sanction_core_epochs;
+    ro.denied_requests = stats.denied_requests;
+    ro.clamped_requests = stats.clamped_requests;
+    ro.first_sanction_epoch = stats.first_sanction_epoch;
+    ro.migrations = attacked.migrations;
+
+    // Collateral: sanctioned cores that are not the attacker's.
+    std::unordered_set<NodeId> attacker_cores;
+    for (const auto& app : apps_) {
+      if (!app.is_attacker()) continue;
+      attacker_cores.insert(app.cores.begin(), app.cores.end());
+    }
+    for (const NodeId n : ro.sanctioned_cores) {
+      if (attacker_cores.find(n) == attacker_cores.end()) ++ro.collateral;
+    }
+
+    // Recovery, measured against the un-attacked baseline's mean victim
+    // grant: the fraction regained over the window, and the first
+    // post-sanction measured epoch back above threshold x baseline.
+    const double base = baseline_->mean_victim_grant_mw;
+    if (base > 0.0 && !attacked.victim_grants.empty()) {
+      ro.victim_grant_recovery = attacked.mean_victim_grant_mw / base;
+      if (ro.first_sanction_epoch >= 0) {
+        const int start =
+            std::max(0, ro.first_sanction_epoch - cfg_.warmup_epochs);
+        const double target = cfg_.response->recovery_threshold * base;
+        for (std::size_t e = static_cast<std::size_t>(start);
+             e < attacked.victim_grants.size(); ++e) {
+          if (attacked.victim_grants[e] >= target) {
+            ro.epochs_to_recovery = static_cast<int>(e) - start;
+            break;
+          }
+        }
+      }
+    }
+    out.response = std::move(ro);
   }
   return out;
 }

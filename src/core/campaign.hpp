@@ -18,6 +18,7 @@
 #include "core/trojan_config.hpp"
 #include "power/defense.hpp"
 #include "power/request_trace.hpp"
+#include "power/response.hpp"
 #include "system/system_config.hpp"
 #include "workload/application.hpp"
 
@@ -55,6 +56,13 @@ struct CampaignConfig {
   /// Pluggable detector constructor for future detector types; empty =
   /// power::make_detector (the request-anomaly detector).
   power::DetectorFactory detector_factory;
+  /// Closed-loop response policy (power/response.hpp) acting on the
+  /// detector's per-epoch verdicts. Requires `detector`; engaged under
+  /// the same rule (attacked runs only). Quarantine and throttle filter
+  /// the manager's allocation; migrate re-places every application
+  /// through the mesh's center mirror at the first confirmed flag's epoch
+  /// boundary (modeled as a rebuild-and-resume, see run_system).
+  std::optional<power::ResponseConfig> response;
 };
 
 struct AppOutcome {
@@ -65,6 +73,54 @@ struct AppOutcome {
   double theta_attacked = 0.0;  ///< theta_k with HTs
   double change = 1.0;          ///< Theta_k (Def. 2)
   double phi = 0.0;             ///< Phi_k (Def. 5), from the baseline run
+};
+
+/// What the closed loop bought (and cost) the defender, reduced from the
+/// run's ResponseStats plus app attribution and the cached baseline.
+struct ResponseOutcome {
+  power::ResponseKind kind = power::ResponseKind::kQuarantine;
+  power::ResponseTrigger trigger = power::ResponseTrigger::kHigh;
+  /// Distinct sanctioned cores, first-sanction order (for kMigrate: the
+  /// cores whose flags triggered the migration).
+  std::vector<NodeId> sanctioned_cores;
+  /// Sanctioned cores that belong to non-attacker applications --
+  /// false-positive collateral, the policy punished a victim.
+  int collateral = 0;
+  std::uint64_t sanction_core_epochs = 0;
+  std::uint64_t denied_requests = 0;
+  std::uint64_t clamped_requests = 0;
+  /// 0-based observed-epoch index (warmup included) of the first
+  /// sanction / migration trigger, -1 when the loop never engaged.
+  int first_sanction_epoch = -1;
+  /// Measured epochs from the first sanction until the victims' granted
+  /// power re-crossed recovery_threshold x the baseline mean; -1 when it
+  /// never recovered (or the loop never engaged).
+  int epochs_to_recovery = -1;
+  /// Mean victims' granted power over the measurement window, as a
+  /// fraction of the un-attacked baseline (1.0 = full recovery).
+  double victim_grant_recovery = 0.0;
+  int migrations = 0;
+
+  friend bool operator==(const ResponseOutcome&,
+                         const ResponseOutcome&) = default;
+};
+
+/// The adaptive attacker agent's self-accounting (TrojanAdaptation).
+struct AdaptationOutcome {
+  int epochs_on = 0;    ///< decision epochs spent attacking
+  int epochs_off = 0;   ///< decision epochs spent hiding
+  int backoffs = 0;     ///< sanctions detected via the grant stream
+
+  /// Mean duty cycle the agent settled on.
+  [[nodiscard]] double duty() const noexcept {
+    const int total = epochs_on + epochs_off;
+    return total == 0 ? 0.0
+                      : static_cast<double>(epochs_on) /
+                            static_cast<double>(total);
+  }
+
+  friend bool operator==(const AdaptationOutcome&,
+                         const AdaptationOutcome&) = default;
 };
 
 struct CampaignOutcome {
@@ -78,6 +134,13 @@ struct CampaignOutcome {
   /// The attacked run's detection outcome; engaged iff the campaign has a
   /// detector configured and the run implanted at least one Trojan node.
   std::optional<power::DetectorReport> detection;
+  /// Closed-loop response outcome; engaged iff the campaign has a
+  /// response configured (which requires a detector) and the run
+  /// implanted at least one Trojan node.
+  std::optional<ResponseOutcome> response;
+  /// Adaptive-agent accounting; engaged iff trojan.adapt.enabled and the
+  /// run implanted at least one Trojan node.
+  std::optional<AdaptationOutcome> adaptation;
 };
 
 class AttackCampaign {
@@ -160,6 +223,13 @@ class AttackCampaign {
     double infection = 0.0;
     TrojanStats trojan_totals;
     std::optional<power::DetectorReport> detection;
+    /// Victims' granted power per measured epoch (recovery trajectory)
+    /// and its mean (the baseline's mean is the recovery reference).
+    std::vector<double> victim_grants;
+    double mean_victim_grant_mw = 0.0;
+    std::optional<power::ResponseStats> response_stats;
+    std::optional<AdaptationOutcome> adaptation;
+    int migrations = 0;
   };
 
   /// Runs one simulation; when `trace` is non-null the GM records its

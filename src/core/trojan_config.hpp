@@ -21,6 +21,30 @@
 
 namespace htpb::core {
 
+/// Software-side duty-cycle adaptation of the attacker agent (an
+/// extension of the paper's Sec. III-B activation control, closing the
+/// loop against a responding defender). The agent watches its own cores'
+/// POWER_GRANT stream: while OFF it learns an EWMA reference of the
+/// grants an honest-looking core receives; while ON it compares the live
+/// grant against that reference and backs off -- toggling the Trojans OFF
+/// via CONFIG_CMD -- when grants shrink (a sanction landed) or when the
+/// ON-streak would reach a streak-confirmed detector's threshold. These
+/// knobs live in the agent, not on the wire: encode_config/decode_config
+/// carry only the activation state the agent decides on.
+struct TrojanAdaptation {
+  bool enabled = false;
+  /// EWMA smoothing of the OFF-epoch grant reference.
+  double alpha = 0.5;
+  /// Back off when an ON-epoch grant drops below ratio x reference.
+  double backoff_ratio = 0.7;
+  /// Voluntary OFF after this many consecutive ON epochs (staying under a
+  /// detector's confirm_epochs evades streak confirmation).
+  int max_on_epochs = 1;
+  /// OFF epochs held after a voluntary backoff; doubled after a detected
+  /// sanction.
+  int hold_off_epochs = 1;
+};
+
 struct TrojanConfig {
   bool active = true;
   bool attenuate_victims = true;
@@ -31,6 +55,7 @@ struct TrojanConfig {
   double attacker_boost = 4.0;
   NodeId global_manager = kInvalidNode;
   std::vector<NodeId> attacker_agents;
+  TrojanAdaptation adapt;
 };
 
 /// Encodes the configuration into payload + options of a CONFIG_CMD packet.

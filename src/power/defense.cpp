@@ -17,17 +17,23 @@ std::size_t DetectorReport::unique_flagged() const {
 void RequestAnomalyDetector::update_flags(FlagState& fs, NodeId node,
                                           bool low, bool high,
                                           DetectorReport& newly) {
+  // Keeps a re-armed core (see rearm()) from landing in the cumulative
+  // list twice on re-confirmation; rates divide by these list sizes.
+  const auto once = [](std::vector<NodeId>& list, NodeId n) {
+    if (std::find(list.begin(), list.end(), n) == list.end())
+      list.push_back(n);
+  };
   fs.low_streak = low ? fs.low_streak + 1 : 0;
   fs.high_streak = high ? fs.high_streak + 1 : 0;
   if (fs.low_streak >= cfg_.confirm_epochs && !fs.reported_low) {
     fs.reported_low = true;
     newly.flagged_low.push_back(node);
-    cumulative_.flagged_low.push_back(node);
+    once(cumulative_.flagged_low, node);
   }
   if (fs.high_streak >= cfg_.confirm_epochs && !fs.reported_high) {
     fs.reported_high = true;
     newly.flagged_high.push_back(node);
-    cumulative_.flagged_high.push_back(node);
+    once(cumulative_.flagged_high, node);
   }
 }
 
@@ -77,6 +83,11 @@ DetectorReport RequestAnomalyDetector::observe_epoch(
 void RequestAnomalyDetector::reset() {
   state_.clear();
   cumulative_ = DetectorReport{};
+}
+
+void RequestAnomalyDetector::rearm(NodeId node) {
+  const auto it = state_.find(node);
+  if (it != state_.end()) it->second.flags = FlagState{};
 }
 
 std::size_t RequestAnomalyDetector::unarmed_cores() const {
@@ -135,6 +146,11 @@ DetectorReport CohortMedianDetector::observe_epoch(
 void CohortMedianDetector::reset() {
   state_.clear();
   cumulative_ = DetectorReport{};
+}
+
+void CohortMedianDetector::rearm(NodeId node) {
+  const auto it = state_.find(node);
+  if (it != state_.end()) it->second = FlagState{};
 }
 
 std::unique_ptr<RequestAnomalyDetector> make_detector(

@@ -133,6 +133,14 @@ class RequestAnomalyDetector {
   /// constructed one.
   virtual void reset();
 
+  /// Re-arms one core's report-once flags (and streaks) so it can be
+  /// confirmed anomalous again. The core's history and warmup state are
+  /// kept -- the detector still knows what "normal" looks like for it.
+  /// Used by the response layer (power/response.hpp) when a sanction
+  /// expires; a core already flagged in the cumulative report is not
+  /// double-listed on re-confirmation.
+  virtual void rearm(NodeId node);
+
   /// Cores observed but not yet armed (still inside their per-core
   /// warmup). Always-idle cores live here forever -- visible to the
   /// defender instead of silently unmonitored. Cross-sectional detectors
@@ -200,6 +208,7 @@ class CohortMedianDetector final : public RequestAnomalyDetector {
   DetectorReport observe_epoch(
       std::span<const BudgetRequest> requests) override;
   void reset() override;
+  void rearm(NodeId node) override;
   /// Cohort judgment needs no per-core warmup.
   [[nodiscard]] std::size_t unarmed_cores() const override { return 0; }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -14,6 +15,7 @@
 #include "power/budgeter.hpp"
 #include "power/defense.hpp"
 #include "power/request_trace.hpp"
+#include "power/response.hpp"
 
 namespace htpb::power {
 
@@ -31,6 +33,10 @@ struct EpochRecord {
   std::uint64_t victim_requests = 0;
   std::uint64_t budget_mw = 0;
   std::uint64_t granted_mw = 0;
+  /// Power granted to victim (non-attacker) applications this epoch --
+  /// the quantity a response policy tries to restore (zero when no
+  /// attacker lookup is attached).
+  std::uint64_t victim_granted_mw = 0;
 
   [[nodiscard]] double infection_rate() const noexcept {
     return victim_requests == 0
@@ -55,6 +61,7 @@ class GlobalManager {
   /// Opens a new collection window.
   void begin_epoch(Cycle now) {
     pending_.clear();
+    victim_nodes_.clear();
     current_ = EpochRecord{};
     current_.epoch_start = now;
     current_.budget_mw = budget_mw_;
@@ -75,7 +82,10 @@ class GlobalManager {
     pending_.push_back(BudgetRequest{pkt.src, pkt.src_app, pkt.payload});
     ++current_.requests_received;
     const bool attacker = is_attacker_ && is_attacker_(pkt.src_app);
-    if (!attacker) ++current_.victim_requests;
+    if (!attacker) {
+      ++current_.victim_requests;
+      if (is_attacker_) victim_nodes_.insert(pkt.src);
+    }
     if (pkt.tampered) ++current_.tampered_received;
   }
 
@@ -95,6 +105,16 @@ class GlobalManager {
   /// purely observational -- it never perturbs collection or allocation.
   void attach_recorder(RequestTrace* trace) noexcept { recorder_ = trace; }
 
+  /// Optional closed-loop response engine (power/response.hpp), fed the
+  /// per-epoch newly-confirmed detector verdicts and allowed to filter
+  /// the allocation (quarantine/throttle). Not owned; requires an
+  /// attached detector to ever sanction anything. The detector and the
+  /// recorder always observe the RAW request vector first -- responses
+  /// never perturb what gets detected or recorded this epoch.
+  void attach_response(ResponseEngine* response) noexcept {
+    response_ = response;
+  }
+
   /// Closes the window, runs the allocator and sends one POWER_GRANT per
   /// requester. `now` is the closing cycle, kept as epoch metadata (and
   /// in the trace, when recording). Returns the closed epoch's record.
@@ -105,14 +125,63 @@ class GlobalManager {
       recorder_->epochs.push_back(
           TraceEpoch{current_.epoch_start, now, budget_mw_, pending_});
     }
-    if (detector_ != nullptr) detector_->observe_epoch(pending_);
-    const auto grants = budgeter_->allocate(pending_, budget_mw_, floor_mw_);
+    DetectorReport newly;
+    if (detector_ != nullptr) newly = detector_->observe_epoch(pending_);
+    std::vector<BudgetRequest> requests = pending_;
+    if (response_ != nullptr) {
+      response_->begin_epoch(newly);
+      if (response_->any_sanctioned()) {
+        switch (response_->kind()) {
+          case ResponseKind::kQuarantine: {
+            std::vector<BudgetRequest> kept;
+            kept.reserve(requests.size());
+            for (const BudgetRequest& r : requests) {
+              if (response_->sanctioned(r.node)) {
+                response_->count_denied();
+                // Explicit 0 mW grant: the core stalls instead of
+                // coasting on its previous epoch's grant.
+                auto pkt = net_->make_packet(
+                    node_, r.node, noc::PacketType::kPowerGrant, 0);
+                net_->send(std::move(pkt));
+              } else {
+                kept.push_back(r);
+              }
+            }
+            requests = std::move(kept);
+            break;
+          }
+          case ResponseKind::kThrottle:
+            for (BudgetRequest& r : requests) {
+              if (response_->sanctioned(r.node) && r.request_mw > floor_mw_) {
+                r.request_mw = floor_mw_;
+                response_->count_clamped();
+              }
+            }
+            break;
+          case ResponseKind::kMigrate:
+            // Verdicts recorded; re-placement happens a layer up.
+            break;
+        }
+      }
+    }
+    const auto grants = budgeter_->allocate(requests, budget_mw_, floor_mw_);
+    const bool throttling =
+        response_ != nullptr && response_->kind() == ResponseKind::kThrottle;
     for (const BudgetGrant& g : grants) {
-      current_.granted_mw += g.grant_mw;
+      std::uint32_t grant_mw = g.grant_mw;
+      if (throttling && response_->sanctioned(g.node) &&
+          grant_mw > floor_mw_) {
+        grant_mw = floor_mw_;
+      }
+      current_.granted_mw += grant_mw;
+      if (victim_nodes_.find(g.node) != victim_nodes_.end()) {
+        current_.victim_granted_mw += grant_mw;
+      }
       auto pkt = net_->make_packet(node_, g.node,
-                                   noc::PacketType::kPowerGrant, g.grant_mw);
+                                   noc::PacketType::kPowerGrant, grant_mw);
       net_->send(std::move(pkt));
     }
+    if (response_ != nullptr) response_->end_epoch();
     history_.push_back(current_);
     return current_;
   }
@@ -142,8 +211,12 @@ class GlobalManager {
   std::function<bool(AppId)> is_attacker_;
   RequestAnomalyDetector* detector_ = nullptr;
   RequestTrace* recorder_ = nullptr;
+  ResponseEngine* response_ = nullptr;
   bool collecting_ = false;
   std::vector<BudgetRequest> pending_;
+  /// Requesters of victim applications this epoch (victim_granted_mw
+  /// attribution; only populated when an attacker lookup is attached).
+  std::unordered_set<NodeId> victim_nodes_;
   EpochRecord current_;
   std::vector<EpochRecord> history_;
 };

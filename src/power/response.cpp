@@ -1,0 +1,79 @@
+#include "power/response.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace htpb::power {
+
+const char* to_string(ResponseKind kind) {
+  switch (kind) {
+    case ResponseKind::kQuarantine: return "quarantine";
+    case ResponseKind::kThrottle: return "throttle";
+    case ResponseKind::kMigrate: return "migrate";
+  }
+  return "?";
+}
+
+ResponseKind response_kind_from_string(std::string_view s) {
+  for (const auto kind : {ResponseKind::kQuarantine, ResponseKind::kThrottle,
+                          ResponseKind::kMigrate}) {
+    if (s == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown response kind \"" + std::string(s) +
+                              "\" (quarantine, throttle, migrate)");
+}
+
+const char* to_string(ResponseTrigger trigger) {
+  switch (trigger) {
+    case ResponseTrigger::kHigh: return "high";
+    case ResponseTrigger::kLow: return "low";
+    case ResponseTrigger::kBoth: return "both";
+  }
+  return "?";
+}
+
+ResponseTrigger response_trigger_from_string(std::string_view s) {
+  for (const auto trigger : {ResponseTrigger::kHigh, ResponseTrigger::kLow,
+                             ResponseTrigger::kBoth}) {
+    if (s == to_string(trigger)) return trigger;
+  }
+  throw std::invalid_argument("unknown response trigger \"" + std::string(s) +
+                              "\" (high, low, both)");
+}
+
+void ResponseEngine::begin_epoch(const DetectorReport& newly) {
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second <= 0) {
+      if (detector_ != nullptr) detector_->rearm(it->first);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (cfg_.trigger != ResponseTrigger::kLow) {
+    for (const NodeId node : newly.flagged_high) sanction(node);
+  }
+  if (cfg_.trigger != ResponseTrigger::kHigh) {
+    for (const NodeId node : newly.flagged_low) sanction(node);
+  }
+}
+
+void ResponseEngine::sanction(NodeId node) {
+  if (std::find(stats_.sanctioned_cores.begin(), stats_.sanctioned_cores.end(),
+                node) == stats_.sanctioned_cores.end()) {
+    stats_.sanctioned_cores.push_back(node);
+  }
+  if (stats_.first_sanction_epoch < 0) stats_.first_sanction_epoch = epoch_;
+  active_[node] = cfg_.sanction_epochs;
+}
+
+void ResponseEngine::end_epoch() {
+  for (auto& [node, remaining] : active_) {
+    --remaining;
+    ++stats_.sanction_core_epochs;
+  }
+  ++epoch_;
+}
+
+}  // namespace htpb::power

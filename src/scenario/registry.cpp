@@ -276,6 +276,42 @@ ScenarioSpec make_budgeter_ablation() {
   return b.build();
 }
 
+ScenarioSpec make_defense_closed_loop() {
+  ScenarioBuilder b("defense-closed-loop", ScenarioKind::kDefenseClosedLoop);
+  b.title(
+       "Closed loop -- response policies x {static, adaptive} duty-cycled "
+       "Trojan")
+      .paper_ref("extension of Sec. VI (conclusion)")
+      .expectation(
+          "quarantine/throttle/migrate all recover victim grants with "
+          "little collateral against the static Trojan; the adaptive "
+          "Trojan halves the detection rate at equal mean duty and "
+          "degrades every policy's recovery")
+      .size(64)
+      .epoch_cycles(2000)
+      .mix("mix-1")
+      .victim_scale(0.10)
+      .attacker_boost(8.0)
+      // Static arm: mid-run activation on a period-2 duty cycle (mean
+      // duty 0.5). The adaptive arm flips to grant-feedback control at
+      // the same mean duty (max_on 1 / hold_off 1).
+      .trojan_active(false)
+      .toggle_period(2)
+      .warmup_epochs(2)
+      .measure_epochs(8)
+      .detector(DetectorSpec{})
+      .response(ResponseSpec{})
+      .adaptation(AdaptationSpec{})
+      .quick(R"({"epochs": {"measure": 6},
+                 "axes": {"placements": [{"at": "gm", "hts": 8}]}})");
+  b.axes().placements = {{ClusterSpec::At::kGm, 8},
+                         {ClusterSpec::At::kQuarter, 8}};
+  b.axes().responses = {power::ResponseKind::kQuarantine,
+                        power::ResponseKind::kThrottle,
+                        power::ResponseKind::kMigrate};
+  return b.build();
+}
+
 }  // namespace
 
 const std::vector<ScenarioSpec>& registry() {
@@ -293,6 +329,7 @@ const std::vector<ScenarioSpec>& registry() {
     all.push_back(make_defense_evaluation());
     all.push_back(make_attack_comparison());
     all.push_back(make_budgeter_ablation());
+    all.push_back(make_defense_closed_loop());
     return all;
   }();
   return specs;

@@ -54,9 +54,15 @@ namespace {
   cfg.trojan.victim_scale = spec.trojan.victim_scale;
   cfg.trojan.attacker_boost = spec.trojan.attacker_boost;
   cfg.toggle_period_epochs = spec.trojan.toggle_period_epochs;
+  cfg.trojan.adapt.enabled = spec.trojan.adaptation.enabled;
+  cfg.trojan.adapt.alpha = spec.trojan.adaptation.alpha;
+  cfg.trojan.adapt.backoff_ratio = spec.trojan.adaptation.backoff_ratio;
+  cfg.trojan.adapt.max_on_epochs = spec.trojan.adaptation.max_on_epochs;
+  cfg.trojan.adapt.hold_off_epochs = spec.trojan.adaptation.hold_off_epochs;
   cfg.warmup_epochs = spec.epochs.warmup;
   cfg.measure_epochs = spec.epochs.measure;
   if (spec.detector.has_value()) cfg.detector = spec.detector->to_config();
+  if (spec.response.has_value()) cfg.response = spec.response->to_config();
   return cfg;
 }
 
@@ -360,6 +366,12 @@ json::Value run_defense_sweep(const ScenarioSpec& spec,
   core::DefenseSweepConfig sweep_cfg;
   sweep_cfg.base = campaign_config(spec, spec.workload.mix);
   sweep_cfg.base.detector.reset();
+  sweep_cfg.base.response.reset();
+  sweep_cfg.responses.assign(spec.axes.responses.begin(),
+                             spec.axes.responses.end());
+  if (spec.response.has_value()) {
+    sweep_cfg.response_base = spec.response->to_config();
+  }
   for (const BandSpec& band : spec.axes.bands) {
     power::DetectorConfig d;
     d.low_ratio = band.low;
@@ -431,6 +443,7 @@ json::Value run_defense_sweep(const ScenarioSpec& spec,
   const auto roc_config = [&](int period, double factor) {
     core::CampaignConfig cfg = sweep_cfg.base;
     cfg.detector.reset();
+    cfg.response.reset();
     cfg.trojan.victim_scale = factor;
     if (period == 0) {
       cfg.trojan.active = true;  // always-on, live from power-on
@@ -568,11 +581,12 @@ json::Value run_defense_evaluation(const ScenarioSpec& spec) {
     const power::DetectorReport report =
         detected.detection.value_or(power::DetectorReport{});
 
-    // Damage arms: attack always on, no detector.
+    // Damage arms: attack always on, no detector (and so no response).
     ScenarioSpec damage_spec = spec;
     damage_spec.trojan.active = true;
     damage_spec.trojan.toggle_period_epochs = 0;
     damage_spec.detector.reset();
+    damage_spec.response.reset();
     core::AttackCampaign plain_campaign(
         campaign_config(damage_spec, mix_name));
     const auto plain = plain_campaign.run(hts);
@@ -781,6 +795,139 @@ json::Value run_budgeter_ablation(const ScenarioSpec& spec) {
   return json::Value(std::move(payload));
 }
 
+/// Closed-loop defense tradeoff grid: placements x {static, adaptive}
+/// Trojan x {none + axes.responses} response policy. Every arm is an
+/// independent re-simulation (responses perturb the dynamics, so nothing
+/// here can ride on trace replays); arms fan out across the pool. The
+/// static and adaptive arms are tuned to equal mean duty cycle
+/// (toggle_period_epochs vs max_on/hold_off), so the duty_comparison
+/// block isolates what grant-feedback adaptation buys the attacker.
+json::Value run_defense_closed_loop(const ScenarioSpec& spec,
+                                    const core::ParallelSweepRunner& runner) {
+  struct Arm {
+    std::size_t placement = 0;
+    bool adaptive = false;
+    int response = -1;  // -1 = no response policy, else axes.responses index
+  };
+
+  const core::AttackCampaign probe(campaign_config(spec, spec.workload.mix));
+  const MeshGeometry geom(spec.system.width, spec.system.height);
+  std::vector<std::vector<NodeId>> placements;
+  for (const ClusterSpec& cluster : spec.axes.placements) {
+    placements.push_back(resolve_cluster(cluster, geom, probe.gm_node()));
+  }
+  int attacker_cores = 0;
+  for (const auto& app : probe.apps()) {
+    if (app.is_attacker()) attacker_cores += static_cast<int>(app.cores.size());
+  }
+
+  std::vector<Arm> arms;
+  for (std::size_t p = 0; p < placements.size(); ++p) {
+    for (const bool adaptive : {false, true}) {
+      for (int r = -1; r < static_cast<int>(spec.axes.responses.size()); ++r) {
+        arms.push_back(Arm{p, adaptive, r});
+      }
+    }
+  }
+
+  const auto outs = runner.map(arms.size(), [&](std::size_t i) {
+    const Arm& arm = arms[i];
+    core::CampaignConfig cfg = campaign_config(spec, spec.workload.mix);
+    if (arm.adaptive) {
+      // Grant-feedback duty cycling replaces the open-loop toggle; the
+      // Trojans start live, the agent decides epoch by epoch.
+      cfg.trojan.active = true;
+      cfg.toggle_period_epochs = 0;
+      cfg.trojan.adapt.enabled = true;
+    } else {
+      cfg.trojan.adapt.enabled = false;
+    }
+    if (arm.response < 0) {
+      cfg.response.reset();
+    } else {
+      cfg.response->kind =
+          spec.axes.responses[static_cast<std::size_t>(arm.response)];
+    }
+    core::AttackCampaign campaign(cfg);
+    return campaign.run(placements[arm.placement]);
+  });
+
+  const auto detection_rate = [&](const core::CampaignOutcome& out) {
+    if (!out.detection.has_value() || attacker_cores == 0) return 0.0;
+    // Capped at 1: a migration re-flags attackers at their new positions,
+    // so the cumulative distinct-node count can exceed the physical cores.
+    return std::min(1.0,
+                    static_cast<double>(out.detection->flagged_high.size()) /
+                        static_cast<double>(attacker_cores));
+  };
+
+  json::Array rows;
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const Arm& arm = arms[i];
+    const core::CampaignOutcome& out = outs[i];
+    json::Object row;
+    row["placement"] =
+        json::Value(to_string(spec.axes.placements[arm.placement].at));
+    row["trojan"] = json::Value(arm.adaptive ? "adaptive" : "static");
+    row["response"] = json::Value(
+        arm.response < 0
+            ? "none"
+            : power::to_string(
+                  spec.axes.responses[static_cast<std::size_t>(arm.response)]));
+    row["q"] = json::Value(out.q);
+    row["infection"] = json::Value(out.infection_measured);
+    const power::DetectorReport rep =
+        out.detection.value_or(power::DetectorReport{});
+    row["attackers_flagged"] =
+        json::Value(static_cast<long long>(rep.flagged_high.size()));
+    row["victims_flagged"] =
+        json::Value(static_cast<long long>(rep.flagged_low.size()));
+    row["detection_rate"] = json::Value(detection_rate(out));
+    row["first_flag_epoch"] = json::Value(rep.first_flag_epoch);
+    if (out.adaptation.has_value()) {
+      row["duty"] = json::Value(out.adaptation->duty());
+      row["backoffs"] = json::Value(out.adaptation->backoffs);
+    }
+    if (out.response.has_value()) {
+      const core::ResponseOutcome& ro = *out.response;
+      row["sanctioned_cores"] =
+          json::Value(static_cast<long long>(ro.sanctioned_cores.size()));
+      row["collateral"] = json::Value(ro.collateral);
+      row["sanction_core_epochs"] =
+          json::Value(static_cast<long long>(ro.sanction_core_epochs));
+      row["denied_requests"] =
+          json::Value(static_cast<long long>(ro.denied_requests));
+      row["clamped_requests"] =
+          json::Value(static_cast<long long>(ro.clamped_requests));
+      row["first_sanction_epoch"] = json::Value(ro.first_sanction_epoch);
+      row["epochs_to_recovery"] = json::Value(ro.epochs_to_recovery);
+      row["victim_grant_recovery"] = json::Value(ro.victim_grant_recovery);
+      row["migrations"] = json::Value(ro.migrations);
+    }
+    rows.push_back(json::Value(std::move(row)));
+  }
+
+  // Evasion headline: the response-free arms of the first placement,
+  // static (toggle, duty 1/2) vs adaptive (max_on/hold_off, equal duty).
+  json::Object comparison;
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    if (arms[i].placement != 0 || arms[i].response >= 0) continue;
+    const char* side = arms[i].adaptive ? "adaptive" : "static";
+    json::Object half;
+    half["detection_rate"] = json::Value(detection_rate(outs[i]));
+    half["q"] = json::Value(outs[i].q);
+    half["duty"] = json::Value(
+        outs[i].adaptation.has_value() ? outs[i].adaptation->duty() : 0.5);
+    comparison[side] = json::Value(std::move(half));
+  }
+
+  json::Object payload;
+  payload["attacker_cores"] = json::Value(attacker_cores);
+  payload["arms"] = json::Value(std::move(rows));
+  payload["duty_comparison"] = json::Value(std::move(comparison));
+  return json::Value(std::move(payload));
+}
+
 /// Table I: the implemented configuration plus a zero-load latency check
 /// of the NoC timing parameters on the wire.
 json::Value run_config_report(const ScenarioSpec& spec) {
@@ -978,6 +1125,9 @@ json::Value run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
     case ScenarioKind::kAreaPowerReport:
       payload = run_area_power_report(s);
       break;
+    case ScenarioKind::kDefenseClosedLoop:
+      payload = run_defense_closed_loop(s, runner);
+      break;
   }
   timing["seconds"] = json::Value(now_seconds() - t0);
 
@@ -995,6 +1145,7 @@ power::RequestTrace record_scenario_trace(const ScenarioSpec& spec,
       !s.workload.mixes.empty() ? s.workload.mixes.front() : s.workload.mix;
   core::CampaignConfig cfg = campaign_config(s, mix_name);
   cfg.detector.reset();  // recording is detector-free by construction
+  cfg.response.reset();  // ... and responses perturb what they'd record
   core::AttackCampaign campaign(cfg);
   const MeshGeometry geom(s.system.width, s.system.height);
   const ClusterSpec cluster = s.axes.placements.empty()
@@ -1009,6 +1160,22 @@ json::Value replay_scenario_detectors(const ScenarioSpec& spec,
                                       const power::RequestTrace& trace,
                                       const RunOptions& opts) {
   const ScenarioSpec s = resolve(spec, opts);
+  // A trace is only meaningful against the chip it was recorded on: a
+  // detector replayed into the wrong geometry would file confident
+  // nonsense. Refuse loudly instead.
+  const int spec_nodes = s.system.width * s.system.height;
+  if (trace.node_count != spec_nodes) {
+    throw std::runtime_error(
+        "trace/scenario mismatch: trace was recorded on " +
+        std::to_string(trace.node_count) + " nodes but scenario \"" + s.name +
+        "\" builds " + std::to_string(spec_nodes));
+  }
+  if (trace.epoch_cycles != s.system.epoch_cycles) {
+    throw std::runtime_error(
+        "trace/scenario mismatch: trace epoch_cycles " +
+        std::to_string(trace.epoch_cycles) + " vs scenario \"" + s.name +
+        "\" epoch_cycles " + std::to_string(s.system.epoch_cycles));
+  }
   std::vector<power::DetectorConfig> detectors;
   if (s.detector.has_value()) detectors.push_back(s.detector->to_config());
   const std::vector<power::DetectorConfig> grid = roc_detector_grid(s);

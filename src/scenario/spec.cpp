@@ -25,6 +25,7 @@ const char* to_string(ScenarioKind kind) noexcept {
     case ScenarioKind::kConfigReport: return "config_report";
     case ScenarioKind::kBenchmarkReport: return "benchmark_report";
     case ScenarioKind::kAreaPowerReport: return "area_power_report";
+    case ScenarioKind::kDefenseClosedLoop: return "defense_closed_loop";
   }
   return "?";
 }
@@ -151,6 +152,24 @@ DetectorSpec DetectorSpec::from_config(const power::DetectorConfig& cfg) {
   return spec;
 }
 
+power::ResponseConfig ResponseSpec::to_config() const {
+  power::ResponseConfig cfg;
+  cfg.kind = kind;
+  cfg.trigger = trigger;
+  cfg.sanction_epochs = sanction_epochs;
+  cfg.recovery_threshold = recovery_threshold;
+  return cfg;
+}
+
+ResponseSpec ResponseSpec::from_config(const power::ResponseConfig& cfg) {
+  ResponseSpec spec;
+  spec.kind = cfg.kind;
+  spec.trigger = cfg.trigger;
+  spec.sanction_epochs = cfg.sanction_epochs;
+  spec.recovery_threshold = cfg.recovery_threshold;
+  return spec;
+}
+
 // ---------------------------------------------------------- to_json
 
 namespace {
@@ -229,6 +248,17 @@ json::Value workload_to_json(const WorkloadSpec& w) {
   return json::Value(std::move(o));
 }
 
+json::Value adaptation_to_json(const AdaptationSpec& a) {
+  const AdaptationSpec d;
+  json::Object o;
+  put_if(o, "enabled", a.enabled, d.enabled);
+  put_if(o, "alpha", a.alpha, d.alpha);
+  put_if(o, "backoff_ratio", a.backoff_ratio, d.backoff_ratio);
+  put_if(o, "max_on_epochs", a.max_on_epochs, d.max_on_epochs);
+  put_if(o, "hold_off_epochs", a.hold_off_epochs, d.hold_off_epochs);
+  return json::Value(std::move(o));
+}
+
 json::Value trojan_to_json(const TrojanSpec& t) {
   const TrojanSpec d;
   json::Object o;
@@ -239,6 +269,9 @@ json::Value trojan_to_json(const TrojanSpec& t) {
   put_if(o, "attacker_boost", t.attacker_boost, d.attacker_boost);
   put_if(o, "toggle_period_epochs", t.toggle_period_epochs,
          d.toggle_period_epochs);
+  if (!(t.adaptation == d.adaptation)) {
+    o["adaptation"] = adaptation_to_json(t.adaptation);
+  }
   return json::Value(std::move(o));
 }
 
@@ -259,6 +292,16 @@ json::Value detector_to_json(const DetectorSpec& s) {
   put_if(o, "high_ratio", s.high_ratio, d.high_ratio);
   put_if(o, "warmup_epochs", s.warmup_epochs, d.warmup_epochs);
   put_if(o, "confirm_epochs", s.confirm_epochs, d.confirm_epochs);
+  return json::Value(std::move(o));
+}
+
+json::Value response_to_json(const ResponseSpec& s) {
+  const ResponseSpec d;
+  json::Object o;
+  if (s.kind != d.kind) o["kind"] = power::to_string(s.kind);
+  if (s.trigger != d.trigger) o["trigger"] = power::to_string(s.trigger);
+  put_if(o, "sanction_epochs", s.sanction_epochs, d.sanction_epochs);
+  put_if(o, "recovery_threshold", s.recovery_threshold, d.recovery_threshold);
   return json::Value(std::move(o));
 }
 
@@ -336,6 +379,11 @@ json::Value axes_to_json(const AxesSpec& a) {
   put_if(o, "detection_measure_epochs", a.detection_measure_epochs,
          d.detection_measure_epochs);
   if (!(a.roc == d.roc)) o["roc"] = roc_to_json(a.roc);
+  if (!a.responses.empty()) {
+    o["responses"] = array_of(a.responses, [](power::ResponseKind k) {
+      return json::Value(power::to_string(k));
+    });
+  }
   if (!a.flood_sources.empty()) {
     o["flood_sources"] = array_of(a.flood_sources, [](NodeId n) {
       return json::Value(static_cast<long long>(n));
@@ -385,6 +433,7 @@ json::Value ScenarioSpec::to_json() const {
     o["epochs"] = std::move(e);
   }
   if (detector.has_value()) o["detector"] = detector_to_json(*detector);
+  if (response.has_value()) o["response"] = response_to_json(*response);
   if (json::Value a = axes_to_json(axes); !a.as_object().empty()) {
     o["axes"] = std::move(a);
   }
@@ -448,6 +497,21 @@ WorkloadSpec workload_from_json(const json::Value& v,
   return w;
 }
 
+AdaptationSpec adaptation_from_json(const json::Value& v,
+                                    const std::string& path) {
+  AdaptationSpec a;
+  json::ObjectReader r(v.as_object(), path);
+  a.enabled = r.get_bool("enabled", a.enabled);
+  a.alpha = r.get_double("alpha", a.alpha);
+  a.backoff_ratio = r.get_double("backoff_ratio", a.backoff_ratio);
+  a.max_on_epochs =
+      static_cast<int>(r.get_int("max_on_epochs", a.max_on_epochs));
+  a.hold_off_epochs =
+      static_cast<int>(r.get_int("hold_off_epochs", a.hold_off_epochs));
+  r.finish();
+  return a;
+}
+
 TrojanSpec trojan_from_json(const json::Value& v, const std::string& path) {
   TrojanSpec t;
   json::ObjectReader r(v.as_object(), path);
@@ -458,6 +522,9 @@ TrojanSpec trojan_from_json(const json::Value& v, const std::string& path) {
   t.attacker_boost = r.get_double("attacker_boost", t.attacker_boost);
   t.toggle_period_epochs = static_cast<int>(
       r.get_int("toggle_period_epochs", t.toggle_period_epochs));
+  if (const json::Value* a = r.optional("adaptation")) {
+    t.adaptation = adaptation_from_json(*a, path + ".adaptation");
+  }
   r.finish();
   return t;
 }
@@ -485,6 +552,24 @@ DetectorSpec detector_from_json(const json::Value& v,
       static_cast<int>(r.get_int("warmup_epochs", s.warmup_epochs));
   s.confirm_epochs =
       static_cast<int>(r.get_int("confirm_epochs", s.confirm_epochs));
+  r.finish();
+  return s;
+}
+
+ResponseSpec response_from_json(const json::Value& v,
+                                const std::string& path) {
+  ResponseSpec s;
+  json::ObjectReader r(v.as_object(), path);
+  if (const json::Value* k = r.optional("kind")) {
+    s.kind = power::response_kind_from_string(k->as_string());
+  }
+  if (const json::Value* t = r.optional("trigger")) {
+    s.trigger = power::response_trigger_from_string(t->as_string());
+  }
+  s.sanction_epochs =
+      static_cast<int>(r.get_int("sanction_epochs", s.sanction_epochs));
+  s.recovery_threshold =
+      r.get_double("recovery_threshold", s.recovery_threshold);
   r.finish();
   return s;
 }
@@ -581,6 +666,11 @@ AxesSpec axes_from_json(const json::Value& v, const std::string& path) {
   if (const json::Value* roc = r.optional("roc")) {
     a.roc = roc_from_json(*roc, path + ".roc");
   }
+  if (const json::Value* resp = r.optional("responses")) {
+    a.responses = read_array(*resp, [](const json::Value& e) {
+      return power::response_kind_from_string(e.as_string());
+    });
+  }
   if (const json::Value* f = r.optional("flood_sources")) {
     a.flood_sources = read_array(*f, [](const json::Value& e) {
       return static_cast<NodeId>(e.as_int());
@@ -636,6 +726,9 @@ ScenarioSpec ScenarioSpec::from_json(const json::Value& v) {
   }
   if (const json::Value* d = r.optional("detector")) {
     spec.detector = detector_from_json(*d, "scenario.detector");
+  }
+  if (const json::Value* resp = r.optional("response")) {
+    spec.response = response_from_json(*resp, "scenario.response");
   }
   if (const json::Value* a = r.optional("axes")) {
     spec.axes = axes_from_json(*a, "scenario.axes");
@@ -693,6 +786,39 @@ void ScenarioSpec::validate() const {
   }
   if (trojan.toggle_period_epochs < 0) {
     invalid(name, "trojan.toggle_period_epochs must be >= 0");
+  }
+  {
+    // Ranges are checked even when disabled: kDefenseClosedLoop carries
+    // the parameters with enabled=false and flips the switch per arm.
+    const AdaptationSpec& a = trojan.adaptation;
+    if (a.enabled && trojan.toggle_period_epochs > 0) {
+      invalid(name,
+              "trojan.adaptation and trojan.toggle_period_epochs are rival "
+              "duty-cycle controllers; enable one");
+    }
+    if (a.alpha <= 0.0 || a.alpha > 1.0) {
+      invalid(name, "trojan.adaptation.alpha must be in (0, 1]");
+    }
+    if (a.backoff_ratio <= 0.0 || a.backoff_ratio >= 1.0) {
+      invalid(name, "trojan.adaptation.backoff_ratio must be in (0, 1)");
+    }
+    if (a.max_on_epochs < 1 || a.hold_off_epochs < 1) {
+      invalid(name,
+              "trojan.adaptation.max_on_epochs and hold_off_epochs must "
+              "be >= 1");
+    }
+  }
+  if (response.has_value()) {
+    if (!detector.has_value()) {
+      invalid(name, "response requires a detector to act on");
+    }
+    if (response->sanction_epochs < 1) {
+      invalid(name, "response.sanction_epochs must be >= 1");
+    }
+    if (response->recovery_threshold <= 0.0 ||
+        response->recovery_threshold > 2.0) {
+      invalid(name, "response.recovery_threshold must be in (0, 2]");
+    }
   }
   if (epochs.warmup < 0 || epochs.measure < 1) {
     invalid(name, "epochs.warmup must be >= 0 and epochs.measure >= 1");
@@ -836,6 +962,25 @@ void ScenarioSpec::validate() const {
         invalid(name, "axes.ht_counts must not be empty");
       }
       if (axes.nodes < 1) invalid(name, "axes.nodes must be >= 1");
+      break;
+    case ScenarioKind::kDefenseClosedLoop:
+      require_placements();
+      if (!detector.has_value()) {
+        invalid(name, "detector must be set (responses need verdicts)");
+      }
+      if (!response.has_value()) {
+        invalid(name,
+                "response must be set (trigger / sanction parameters; "
+                "axes.responses supplies the policy axis)");
+      }
+      if (axes.responses.empty()) {
+        invalid(name, "axes.responses must not be empty");
+      }
+      if (trojan.toggle_period_epochs < 1) {
+        invalid(name,
+                "trojan.toggle_period_epochs must be >= 1 (the static "
+                "duty-cycled arm)");
+      }
       break;
   }
 }
@@ -992,6 +1137,14 @@ ScenarioBuilder& ScenarioBuilder::measure_epochs(int epochs) {
 }
 ScenarioBuilder& ScenarioBuilder::detector(DetectorSpec spec) {
   spec_.detector = spec;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::response(ResponseSpec spec) {
+  spec_.response = spec;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::adaptation(AdaptationSpec spec) {
+  spec_.trojan.adaptation = spec;
   return *this;
 }
 ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t value) {

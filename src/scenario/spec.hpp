@@ -30,6 +30,7 @@
 #include "common/types.hpp"
 #include "power/budgeter.hpp"
 #include "power/defense.hpp"
+#include "power/response.hpp"
 #include "system/system_config.hpp"
 
 namespace htpb::scenario {
@@ -55,8 +56,9 @@ enum class ScenarioKind : std::uint8_t {
   kConfigReport,             ///< Table I: configuration + timing check
   kBenchmarkReport,          ///< Tables II-III: roster, mixes, measured Phi
   kAreaPowerReport,          ///< Sec. III-D: HT area/power stealth numbers
+  kDefenseClosedLoop,        ///< Response policies x {static, adaptive} Trojan
 };
-inline constexpr int kScenarioKindCount = 12;
+inline constexpr int kScenarioKindCount = 13;
 
 /// Enum <-> string maps used by the JSON schema. Every to_string is an
 /// exhaustive switch and every from_string throws std::invalid_argument
@@ -113,6 +115,20 @@ struct WorkloadSpec {
   friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
 };
 
+/// The adaptive attacker agent's duty-cycle controller (mirrors
+/// core::TrojanAdaptation; the runner bridges the fields). Mutually
+/// exclusive with toggle_period_epochs -- both steer the same activation
+/// signal.
+struct AdaptationSpec {
+  bool enabled = false;
+  double alpha = 0.5;
+  double backoff_ratio = 0.7;
+  int max_on_epochs = 1;
+  int hold_off_epochs = 1;
+
+  friend bool operator==(const AdaptationSpec&, const AdaptationSpec&) = default;
+};
+
 /// The attacker's CONFIG_CMD payload plus its activation schedule.
 struct TrojanSpec {
   bool active = true;
@@ -123,6 +139,8 @@ struct TrojanSpec {
   /// Duty-cycled activation: flip the activation signal every N epochs
   /// (Sec. III-B); 0 = static.
   int toggle_period_epochs = 0;
+  /// Grant-feedback adaptation (the closed loop's attacker half).
+  AdaptationSpec adaptation;
 
   friend bool operator==(const TrojanSpec&, const TrojanSpec&) = default;
 };
@@ -148,6 +166,20 @@ struct DetectorSpec {
       const power::DetectorConfig& cfg);
 
   friend bool operator==(const DetectorSpec&, const DetectorSpec&) = default;
+};
+
+/// A closed-loop response policy (mirrors power::ResponseConfig).
+struct ResponseSpec {
+  power::ResponseKind kind = power::ResponseKind::kQuarantine;
+  power::ResponseTrigger trigger = power::ResponseTrigger::kHigh;
+  int sanction_epochs = 3;
+  double recovery_threshold = 0.9;
+
+  [[nodiscard]] power::ResponseConfig to_config() const;
+  [[nodiscard]] static ResponseSpec from_config(
+      const power::ResponseConfig& cfg);
+
+  friend bool operator==(const ResponseSpec&, const ResponseSpec&) = default;
 };
 
 /// A trust band [low, high] around the detector reference -- the
@@ -228,12 +260,15 @@ struct AxesSpec {
   int random_trials = 4;
   int candidates_per_m = 60;
   int shortlist = 3;
-  // kDefenseSweep / kDefenseEvaluation
+  // kDefenseSweep / kDefenseEvaluation / kDefenseClosedLoop
   std::vector<BandSpec> bands;
   std::vector<ClusterSpec> placements;
   int cluster_hts = 8;
   int detection_measure_epochs = 6;
   RocSpec roc;
+  /// kDefenseClosedLoop: the response-policy axis (each kind is one arm;
+  /// also accepted by kDefenseSweep as DefenseSweep's response axis).
+  std::vector<power::ResponseKind> responses;
   // kAttackComparison
   std::vector<NodeId> flood_sources;
   double flood_rate = 0.15;
@@ -263,8 +298,13 @@ struct ScenarioSpec {
   TrojanSpec trojan;
   EpochSpec epochs;
   /// Detection policy for kinds that run one detector in-sim
-  /// (kDefenseEvaluation); sweeps carry their grids in axes.bands.
+  /// (kDefenseEvaluation, kDefenseClosedLoop); sweeps carry their grids
+  /// in axes.bands.
   std::optional<DetectorSpec> detector;
+  /// Closed-loop response policy; requires `detector`. For
+  /// kDefenseClosedLoop this sets trigger/sanction/recovery parameters
+  /// while axes.responses supplies the policy-kind axis.
+  std::optional<ResponseSpec> response;
   AxesSpec axes;
 
   /// Experiment-level seed: every stochastic choice the runner makes
@@ -344,6 +384,8 @@ class ScenarioBuilder {
   ScenarioBuilder& warmup_epochs(int epochs);
   ScenarioBuilder& measure_epochs(int epochs);
   ScenarioBuilder& detector(DetectorSpec spec);
+  ScenarioBuilder& response(ResponseSpec spec);
+  ScenarioBuilder& adaptation(AdaptationSpec spec);
   ScenarioBuilder& seed(std::uint64_t value);
   ScenarioBuilder& threads(int count);
 

@@ -136,6 +136,7 @@ void ManyCoreSystem::dispatch(NodeId node, const noc::Packet& pkt) {
       if (node == gm_node_) gm_->on_power_request(pkt);
       break;
     case noc::PacketType::kPowerGrant:
+      tile.last_grant_mw = pkt.payload;
       if (tile.has_core()) {
         tile.core->set_level(
             cfg_.power_model.max_level_within(cfg_.freqs, pkt.payload));

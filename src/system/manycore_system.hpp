@@ -56,6 +56,12 @@ class ManyCoreSystem : public sim::Tickable {
   }
   [[nodiscard]] std::uint32_t floor_mw() const noexcept { return floor_mw_; }
 
+  /// Payload of the most recent POWER_GRANT delivered to `node` (0 before
+  /// the first grant lands). The adaptive Trojan agent's feedback tap.
+  [[nodiscard]] std::uint32_t last_grant_mw(NodeId node) const noexcept {
+    return tiles_[node].last_grant_mw;
+  }
+
   /// Ticks every core (registered with the engine after the network, so
   /// cores see this cycle's deliveries).
   void tick(Cycle now) override;

@@ -22,6 +22,12 @@ struct Tile {
   double last_instructions = 0.0;
   std::uint64_t last_misses = 0;
 
+  /// Payload of the most recent POWER_GRANT delivered to this tile. An
+  /// adaptive attacker agent (core/campaign.cpp) reads its own cores'
+  /// grant stream through this -- the one feedback signal the chip gives
+  /// every core for free.
+  std::uint32_t last_grant_mw = 0;
+
   [[nodiscard]] bool has_core() const noexcept { return core != nullptr; }
 };
 

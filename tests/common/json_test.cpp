@@ -134,6 +134,39 @@ TEST(JsonObjectReader, RejectsUnknownKeys) {
   }
 }
 
+// Type confusion at every typed accessor is a thrown runtime_error, never
+// a coercion or a crash -- the spec mutation corpus
+// (tests/scenario/spec_test.cpp) leans on this at each nesting level.
+TEST(JsonObjectReader, TypeConfusionIsACleanError) {
+  const Value v =
+      parse(R"({"b": 1, "i": true, "d": "x", "s": 3, "o": [1]})");
+  ObjectReader reader(v.as_object(), "t");
+  EXPECT_THROW((void)reader.get_bool("b", false), std::runtime_error);
+  EXPECT_THROW((void)reader.get_int("i", 0), std::runtime_error);
+  EXPECT_THROW((void)reader.get_double("d", 0.0), std::runtime_error);
+  EXPECT_THROW((void)reader.get_string("s", "?"), std::runtime_error);
+  EXPECT_THROW((void)reader.require("o").as_object(), std::runtime_error);
+}
+
+TEST(JsonParse, NestingDepthIsGuardedNotACrash) {
+  // Reasonable depth round trips...
+  std::string text;
+  for (int i = 0; i < 64; ++i) text += '[';
+  text += '1';
+  for (int i = 0; i < 64; ++i) text += ']';
+  const Value v = parse(text);
+  EXPECT_EQ(parse(dump(v, 0)), v);
+
+  // ...an unbalanced tower is an error, not an overrun...
+  text.pop_back();
+  EXPECT_THROW((void)parse(text), std::runtime_error);
+
+  // ...and an absurd tower hits the recursion guard as a clean throw
+  // instead of blowing the stack (a crafted spec file must not crash
+  // htpb_run).
+  EXPECT_THROW((void)parse(std::string(100000, '[')), std::runtime_error);
+}
+
 TEST(JsonObjectReader, RequireAndFallbacks) {
   const Value v = parse(R"({"a": 2, "s": "x", "b": true, "d": 1.5})");
   ObjectReader reader(v.as_object(), "t");

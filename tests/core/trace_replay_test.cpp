@@ -25,6 +25,7 @@
 #include "core/parallel_sweep.hpp"
 #include "core/placement.hpp"
 #include "power/request_trace.hpp"
+#include "scenario/runner.hpp"
 #include "workload/application.hpp"
 
 namespace htpb::core {
@@ -211,6 +212,47 @@ TEST(TraceReplay, EpochZeroAttackMissedByEwmaCaughtByCohort) {
   const auto live = in_sim.run_detection_only(placement);
   ASSERT_TRUE(live.has_value());
   EXPECT_EQ(*live, cohort_report);
+}
+
+// Regression: a trace recorded on one geometry must not be replayed
+// through a scenario that builds a different chip -- core IDs and epoch
+// boundaries would silently mean different things. The runner refuses
+// with both geometries named.
+TEST(TraceReplay, ScenarioReplayRejectsMismatchedTraceGeometry) {
+  scenario::ScenarioBuilder b("geom-check",
+                              scenario::ScenarioKind::kAttackEffect);
+  b.title("t").paper_ref("p").expectation("e");
+  b.size(64)
+      .epoch_cycles(1500)
+      .victim_scale(0.10)
+      .attacker_boost(8.0)
+      .warmup_epochs(1)
+      .measure_epochs(2);
+  b.workload().mixes = {"mix-1"};
+  b.axes().infection_targets = {0.5};
+  b.axes().placement_max_hts = 16;
+  const scenario::ScenarioSpec spec = b.build();
+
+  const power::RequestTrace trace = scenario::record_scenario_trace(spec);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_NO_THROW((void)scenario::replay_scenario_detectors(spec, trace));
+
+  power::RequestTrace wrong_nodes = trace;
+  wrong_nodes.node_count = 256;
+  try {
+    (void)scenario::replay_scenario_detectors(spec, wrong_nodes);
+    FAIL() << "mismatched node count accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("256"), std::string::npos) << what;
+    EXPECT_NE(what.find("64"), std::string::npos) << what;
+  }
+
+  power::RequestTrace wrong_epochs = trace;
+  wrong_epochs.epoch_cycles = 777;
+  EXPECT_THROW(
+      (void)scenario::replay_scenario_detectors(spec, wrong_epochs),
+      std::runtime_error);
 }
 
 /// Self-deleting temp path under the ctest working directory.

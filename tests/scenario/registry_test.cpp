@@ -20,7 +20,8 @@ TEST(ScenarioRegistry, RegistersEveryPaperExperiment) {
       "table1",         "table2",
       "secIIID-area-power", "secVC-placement",
       "defense-roc",    "defense-evaluation",
-      "attack-comparison", "budgeter-ablation"};
+      "attack-comparison", "budgeter-ablation",
+      "defense-closed-loop"};
   EXPECT_EQ(names, expected);
 }
 

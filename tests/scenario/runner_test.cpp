@@ -285,6 +285,65 @@ TEST(ScenarioRunner, ResultIsThreadCountInvariant) {
             json::dump(without_timing(run_scenario(spec, four)), 0));
 }
 
+// ------------------------------------------------- defense-closed-loop
+
+TEST(ScenarioRunner, ClosedLoopDeterministicAndThreadCountInvariant) {
+  const ScenarioSpec& spec = scenario_or_throw("defense-closed-loop");
+  RunOptions one;
+  one.quick = true;
+  one.threads = 1;
+  RunOptions four;
+  four.quick = true;
+  four.threads = 4;
+  const json::Value a = without_timing(run_scenario(spec, one));
+  const json::Value b = without_timing(run_scenario(spec, one));
+  const json::Value c = without_timing(run_scenario(spec, four));
+  // Same seed -> bit-identical tree, including every response and
+  // adaptation outcome; and the arm fan-out must not leak thread count.
+  EXPECT_EQ(json::dump(a, 0), json::dump(b, 0));
+  EXPECT_EQ(json::dump(a, 0), json::dump(c, 0));
+}
+
+TEST(ScenarioRunner, ClosedLoopAdaptiveTrojanEvadesAtEqualMeanDuty) {
+  const json::Value result = run_quick("defense-closed-loop");
+  const json::Object& root = result.as_object();
+
+  // The headline: grant-feedback duty control beats the EWMA detector
+  // that catches a blind duty cycle of the same mean exposure.
+  const json::Object& cmp = root.find("duty_comparison")->as_object();
+  const json::Object& fixed = cmp.find("static")->as_object();
+  const json::Object& adaptive = cmp.find("adaptive")->as_object();
+  EXPECT_NEAR(fixed.find("duty")->as_double(), 0.5, 0.1);
+  EXPECT_NEAR(adaptive.find("duty")->as_double(), 0.5, 0.1);
+  EXPECT_LT(adaptive.find("detection_rate")->as_double(),
+            fixed.find("detection_rate")->as_double());
+  EXPECT_GT(fixed.find("detection_rate")->as_double(), 0.5);
+
+  // Quick trims to one placement: 2 Trojan modes x (no response + 3
+  // policies), every response arm carrying its tradeoff surface.
+  const json::Array& arms = root.find("arms")->as_array();
+  ASSERT_EQ(arms.size(), 8U);
+  int with_response = 0;
+  int adaptive_arms = 0;
+  for (const auto& v : arms) {
+    const json::Object& row = v.as_object();
+    EXPECT_GE(row.find("detection_rate")->as_double(), 0.0);
+    EXPECT_LE(row.find("detection_rate")->as_double(), 1.0);
+    if (row.find("response")->as_string() != "none") {
+      ++with_response;
+      ASSERT_NE(row.find("victim_grant_recovery"), nullptr);
+      ASSERT_NE(row.find("epochs_to_recovery"), nullptr);
+      ASSERT_NE(row.find("collateral"), nullptr);
+    }
+    if (row.find("trojan")->as_string() == "adaptive") {
+      ++adaptive_arms;
+      ASSERT_NE(row.find("duty"), nullptr);
+    }
+  }
+  EXPECT_EQ(with_response, 6);
+  EXPECT_EQ(adaptive_arms, 4);
+}
+
 TEST(ScenarioRunner, TraceRecordReplayAgreesThroughDisk) {
   const ScenarioSpec spec = small_attack_spec();
   const power::RequestTrace trace = record_scenario_trace(spec);

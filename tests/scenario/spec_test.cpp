@@ -41,7 +41,21 @@ ScenarioSpec full_spec() {
   det.warmup_epochs = 1;
   det.confirm_epochs = 3;
   b.detector(det);
+  ResponseSpec resp;
+  resp.kind = power::ResponseKind::kThrottle;
+  resp.trigger = power::ResponseTrigger::kBoth;
+  resp.sanction_epochs = 5;
+  resp.recovery_threshold = 0.8;
+  b.response(resp);
+  AdaptationSpec adapt;  // parameters without the switch: enabled stays off
+  adapt.alpha = 0.25;
+  adapt.backoff_ratio = 0.5;
+  adapt.max_on_epochs = 2;
+  adapt.hold_off_epochs = 3;
+  b.adaptation(adapt);
   b.system().seed = 17;
+  b.axes().responses = {power::ResponseKind::kThrottle,
+                        power::ResponseKind::kMigrate};
   b.axes().bands = {{0.7, 1.4}, {0.33, 2.9}};
   b.axes().placements = {{ClusterSpec::At::kQuarter, 6},
                          {ClusterSpec::At::kCorner, 4}};
@@ -78,6 +92,16 @@ TEST(ScenarioSpec, RejectsUnknownKeysEverywhere) {
   corrupt("epochs", "cooldown");
   corrupt("axes", "band");          // singular typo of "bands"
   corrupt("detector", "threshold");
+  corrupt("response", "duration");  // belongs nowhere (sanction_epochs)
+
+  // Nested one deeper: the adaptation block under trojan.
+  json::Value j = full_spec().to_json();
+  json::Value* trojan = j.as_object().find("trojan");
+  ASSERT_NE(trojan, nullptr);
+  json::Value* adaptation = trojan->as_object().find("adaptation");
+  ASSERT_NE(adaptation, nullptr);
+  adaptation->as_object()["aggressiveness"] = json::Value(1);
+  EXPECT_THROW((void)ScenarioSpec::from_json(j), std::runtime_error);
 }
 
 TEST(ScenarioSpec, RejectsWrongSchemaVersion) {
@@ -114,6 +138,16 @@ TEST(ScenarioSpec, EnumStringMapsAreCompleteAndInvertible) {
         power::BudgeterKind::kMarket}) {
     EXPECT_EQ(budgeter_kind_from_string(power::to_string(b)), b);
   }
+  for (const auto k :
+       {power::ResponseKind::kQuarantine, power::ResponseKind::kThrottle,
+        power::ResponseKind::kMigrate}) {
+    EXPECT_EQ(power::response_kind_from_string(power::to_string(k)), k);
+  }
+  for (const auto t :
+       {power::ResponseTrigger::kHigh, power::ResponseTrigger::kLow,
+        power::ResponseTrigger::kBoth}) {
+    EXPECT_EQ(power::response_trigger_from_string(power::to_string(t)), t);
+  }
   EXPECT_THROW((void)scenario_kind_from_string("fig99"),
                std::invalid_argument);
   EXPECT_THROW((void)gm_placement_from_string("middle"),
@@ -123,6 +157,10 @@ TEST(ScenarioSpec, EnumStringMapsAreCompleteAndInvertible) {
   EXPECT_THROW((void)budgeter_kind_from_string("fair"),
                std::invalid_argument);
   EXPECT_THROW((void)cluster_at_from_string("edge"), std::invalid_argument);
+  EXPECT_THROW((void)power::response_kind_from_string("exile"),
+               std::invalid_argument);
+  EXPECT_THROW((void)power::response_trigger_from_string("medium"),
+               std::invalid_argument);
 }
 
 TEST(ScenarioSpec, DetectorSpecBridgesDetectorConfigExactly) {
@@ -215,6 +253,106 @@ TEST(ScenarioSpec, BuilderValidatesAtBuildTime) {
   typo.axes().budgeters = {power::BudgeterKind::kGreedy};
   typo.quick(R"({"epoch": {"measure": 2}})");  // typo'd section
   EXPECT_THROW((void)typo.build(), std::runtime_error);
+}
+
+// Robustness property: every mutation of the closed-loop spec's JSON --
+// unknown keys at each new nesting level, type confusion, out-of-range
+// values, bad enum strings -- is rejected with a thrown std::exception.
+// Parse-then-validate must never crash or silently accept.
+TEST(ScenarioSpec, ResponseMutationCorpusIsCleanlyRejected) {
+  const json::Value base =
+      scenario_or_throw("defense-closed-loop").to_json();
+
+  // Mutators navigate with dotted paths; a missing intermediate object is
+  // created so sparse-emitted sections can still be corrupted.
+  const auto mutate = [&](const char* path, json::Value v) {
+    json::Value j = base;
+    json::Value* node = &j;
+    std::string key;
+    for (const char* c = path;; ++c) {
+      if (*c == '.' || *c == '\0') {
+        if (*c == '\0') {
+          node->as_object()[key] = std::move(v);
+          return j;
+        }
+        json::Value* next = node->as_object().find(key);
+        if (next == nullptr) {
+          node->as_object()[key] = json::Value(json::Object{});
+          next = node->as_object().find(key);
+        }
+        node = next;
+        key.clear();
+      } else {
+        key += *c;
+      }
+    }
+  };
+  const auto rejected = [](const json::Value& j, const char* what) {
+    try {
+      const ScenarioSpec spec = ScenarioSpec::from_json(j);
+      spec.validate();
+      ADD_FAILURE() << "mutation accepted: " << what;
+    } catch (const std::exception&) {
+      // Clean rejection -- the property under test.
+    }
+  };
+
+  // The un-mutated base must survive both steps (the corpus is live).
+  EXPECT_NO_THROW(ScenarioSpec::from_json(base).validate());
+
+  // Unknown keys at every new nesting level.
+  rejected(mutate("response.duration", json::Value(3)), "response unknown");
+  rejected(mutate("trojan.adaptation.aggressiveness", json::Value(2)),
+           "adaptation unknown");
+  rejected(mutate("axes.response", json::Value(json::Array{})),
+           "axes singular typo");
+
+  // Type confusion.
+  rejected(mutate("response.kind", json::Value(5)), "kind as int");
+  rejected(mutate("response.trigger", json::Value(json::Array{})),
+           "trigger as array");
+  rejected(mutate("response.sanction_epochs", json::Value("three")),
+           "sanction_epochs as string");
+  rejected(mutate("trojan.adaptation.alpha", json::Value("high")),
+           "alpha as string");
+  rejected(mutate("trojan.adaptation.enabled", json::Value(1)),
+           "enabled as int");
+  rejected(mutate("axes.responses", json::Value(3)), "responses as int");
+  {
+    json::Array mixed;
+    mixed.push_back(json::Value("quarantine"));
+    mixed.push_back(json::Value(7));
+    rejected(mutate("axes.responses", json::Value(std::move(mixed))),
+             "responses mixed-type array");
+  }
+
+  // Bad enum strings.
+  rejected(mutate("response.kind", json::Value("exile")), "bad kind");
+  rejected(mutate("response.trigger", json::Value("medium")), "bad trigger");
+
+  // Out-of-range values (parse fine, validate must throw).
+  rejected(mutate("response.sanction_epochs", json::Value(0)),
+           "sanction_epochs 0");
+  rejected(mutate("response.sanction_epochs", json::Value(-3)),
+           "sanction_epochs negative");
+  rejected(mutate("response.recovery_threshold", json::Value(0.0)),
+           "recovery_threshold 0");
+  rejected(mutate("response.recovery_threshold", json::Value(3.5)),
+           "recovery_threshold 3.5");
+  rejected(mutate("trojan.adaptation.alpha", json::Value(0.0)), "alpha 0");
+  rejected(mutate("trojan.adaptation.alpha", json::Value(1.5)), "alpha 1.5");
+  rejected(mutate("trojan.adaptation.backoff_ratio", json::Value(1.0)),
+           "backoff_ratio 1");
+  rejected(mutate("trojan.adaptation.max_on_epochs", json::Value(0)),
+           "max_on_epochs 0");
+  rejected(mutate("trojan.adaptation.hold_off_epochs", json::Value(0)),
+           "hold_off_epochs 0");
+  // Rival duty controllers: grant feedback AND a blind toggle.
+  rejected(mutate("trojan.adaptation.enabled", json::Value(true)),
+           "adaptation enabled under a toggle period");
+  // An empty response axis on a closed-loop scenario has nothing to run.
+  rejected(mutate("axes.responses", json::Value(json::Array{})),
+           "responses empty");
 }
 
 TEST(ScenarioSpec, MeshForSizeCoversPaperPresetsOnly) {
