@@ -1,0 +1,88 @@
+#include "common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace htpb::common {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path,
+                       int err) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  // The temp file lives beside the target so the final rename stays on
+  // one filesystem (rename across devices is a copy, not atomic). The
+  // pid suffix keeps concurrent writers -- fleet shards racing on
+  // distinct attempts of the same cell -- from trampling each other's
+  // temp files; whichever renames last wins wholesale.
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) fail("atomic_write_file: cannot create", temp, errno);
+
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(temp.c_str());
+      fail("atomic_write_file: write failed for", temp, err);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: otherwise a crash can leave the *rename*
+  // durable but the data not, which is exactly the truncated-artifact
+  // failure this function exists to rule out.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(temp.c_str());
+    fail("atomic_write_file: fsync failed for", temp, err);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(temp.c_str());
+    fail("atomic_write_file: close failed for", temp, err);
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(temp.c_str());
+    fail("atomic_write_file: cannot rename into", path, err);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail("read_file: cannot open", path, errno);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      fail("read_file: read failed for", path, err);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace htpb::common

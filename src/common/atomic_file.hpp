@@ -1,0 +1,23 @@
+// Crash-safe file emission. Every artifact a tool can be killed while
+// writing (scenario result JSON, bench baselines, fleet statuses) goes
+// through atomic_write_file: a reader -- or a scheduler restarted after a
+// kill -9 -- sees either the previous contents or the complete new ones,
+// never a truncated hybrid.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace htpb::common {
+
+/// Writes `contents` to `path` atomically: a temp file beside the target
+/// (same directory, so the rename cannot cross filesystems), fsync, then
+/// rename(2) over `path`. Throws std::runtime_error naming the path and
+/// the errno string on any failure; the temp file is unlinked on error.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+/// Reads a whole file into a string. Throws std::runtime_error naming the
+/// path and the errno string when the file cannot be opened or read.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+}  // namespace htpb::common

@@ -1,0 +1,121 @@
+#include "common/fault_inject.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace htpb::common {
+
+namespace {
+
+struct FaultSpec {
+  double crash = 0.0;
+  double hang = 0.0;
+  double garbage = 0.0;
+  std::uint64_t seed = 0;
+};
+
+[[noreturn]] void bad_spec(const char* text) {
+  std::fprintf(stderr,
+               "HTPB_FLEET_FAULT: cannot parse \"%s\" (expected "
+               "crash:P,hang:P,garbage:P,seed:N)\n",
+               text);
+  std::exit(2);
+}
+
+FaultSpec parse_spec(const char* text) {
+  FaultSpec spec;
+  const char* p = text;
+  while (*p != '\0') {
+    const char* colon = std::strchr(p, ':');
+    if (colon == nullptr) bad_spec(text);
+    const std::string key(p, colon);
+    char* end = nullptr;
+    if (key == "seed") {
+      spec.seed = std::strtoull(colon + 1, &end, 10);
+    } else {
+      const double v = std::strtod(colon + 1, &end);
+      if (v < 0.0 || v > 1.0) bad_spec(text);
+      if (key == "crash") {
+        spec.crash = v;
+      } else if (key == "hang") {
+        spec.hang = v;
+      } else if (key == "garbage") {
+        spec.garbage = v;
+      } else {
+        bad_spec(text);
+      }
+    }
+    if (end == colon + 1 || (*end != ',' && *end != '\0')) bad_spec(text);
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (spec.crash + spec.hang + spec.garbage > 1.0) bad_spec(text);
+  return spec;
+}
+
+[[nodiscard]] std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void maybe_inject_fleet_fault(const std::string& artifact_path) {
+  const char* fault_env = std::getenv("HTPB_FLEET_FAULT");
+  if (fault_env == nullptr || *fault_env == '\0') return;
+  const FaultSpec spec = parse_spec(fault_env);
+
+  const char* cell = std::getenv("HTPB_FLEET_CELL");
+  const char* attempt_env = std::getenv("HTPB_FLEET_ATTEMPT");
+  const std::uint64_t attempt =
+      attempt_env != nullptr ? std::strtoull(attempt_env, nullptr, 10) : 1;
+
+  // One uniform draw in [0, 1), pure in (seed, cell, attempt).
+  const std::uint64_t h = splitmix64(
+      splitmix64(spec.seed ^ fnv1a(cell != nullptr ? cell : "")) +
+      attempt * 0x9E3779B97F4A7C15ULL);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+
+  if (u < spec.crash) {
+    std::fprintf(stderr, "HTPB_FLEET_FAULT: injected crash (cell %s attempt %llu)\n",
+                 cell != nullptr ? cell : "-",
+                 static_cast<unsigned long long>(attempt));
+    std::abort();
+  }
+  if (u < spec.crash + spec.hang) {
+    std::fprintf(stderr, "HTPB_FLEET_FAULT: injected hang (cell %s attempt %llu)\n",
+                 cell != nullptr ? cell : "-",
+                 static_cast<unsigned long long>(attempt));
+    // Ignore SIGTERM so only the scheduler's SIGKILL escalation ends us:
+    // the worst-case hung worker the timeout state machine exists for.
+    ::signal(SIGTERM, SIG_IGN);
+    for (;;) ::pause();
+  }
+  if (u < spec.crash + spec.hang + spec.garbage) {
+    std::fprintf(stderr,
+                 "HTPB_FLEET_FAULT: injected garbage output (cell %s attempt %llu)\n",
+                 cell != nullptr ? cell : "-",
+                 static_cast<unsigned long long>(attempt));
+    if (!artifact_path.empty() && artifact_path != "-") {
+      // Deliberately bypasses atomic_write_file: this models a worker
+      // whose emitter is broken, leaving a truncated non-JSON artifact.
+      std::FILE* f = std::fopen(artifact_path.c_str(), "wb");
+      if (f != nullptr) {
+        std::fputs("{\"scenario\": \"truncat", f);
+        std::fclose(f);
+      }
+    }
+    std::exit(0);
+  }
+}
+
+}  // namespace htpb::common

@@ -1,0 +1,27 @@
+// Deterministic fault injection for the fleet-worker path. When the
+// environment carries
+//
+//   HTPB_FLEET_FAULT=crash:P,hang:P,garbage:P,seed:N
+//
+// a worker draws one uniform variate from (seed, HTPB_FLEET_CELL,
+// HTPB_FLEET_ATTEMPT) -- the latter two are set per attempt by
+// core::FleetScheduler -- and, by the stacked probabilities, either
+// aborts (crash), ignores SIGTERM and hangs forever (hang: schedulers
+// must escalate to SIGKILL), or writes a truncated non-JSON artifact and
+// exits 0 (garbage). Everything is a pure function of the four inputs,
+// so a faulted fleet run is reproducible bit for bit: the same cells
+// fail on the same attempts every time.
+#pragma once
+
+#include <string>
+
+namespace htpb::common {
+
+/// No-op unless HTPB_FLEET_FAULT is set. `artifact_path` is the output
+/// file a garbage fault corrupts (empty or "-" = the fault just exits 0
+/// without writing, which readers must treat as a missing artifact). A
+/// malformed HTPB_FLEET_FAULT spec prints a diagnostic and exits 2: a
+/// typo'd harness must never silently run fault-free.
+void maybe_inject_fleet_fault(const std::string& artifact_path);
+
+}  // namespace htpb::common

@@ -4,8 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
+
+#include "common/atomic_file.hpp"
 
 namespace htpb::json {
 
@@ -468,22 +468,21 @@ class Parser {
 Value parse(std::string_view text) { return Parser(text).run(); }
 
 Value parse_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("json: cannot open " + path);
-  std::stringstream ss;
-  ss << in.rdbuf();
+  // read_file names the path and the errno string on open/read failure;
+  // parse errors get the path prefixed onto their byte-offset message.
+  // Either way a bad file is diagnosed by name, never as a bare error.
+  const std::string text = common::read_file(path);
   try {
-    return parse(ss.str());
+    return parse(text);
   } catch (const std::exception& e) {
     throw std::runtime_error(path + ": " + e.what());
   }
 }
 
 void dump_file(const Value& v, const std::string& path, int indent) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("json: cannot write " + path);
-  out << dump(v, indent) << "\n";
-  if (!out) throw std::runtime_error("json: write failed for " + path);
+  // Atomic (temp + fsync + rename): a tool killed mid-dump never leaves
+  // a truncated JSON artifact behind for a merger to choke on.
+  common::atomic_write_file(path, dump(v, indent) + "\n");
 }
 
 // ---------------------------------------------------------- ObjectReader

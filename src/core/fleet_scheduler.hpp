@@ -1,0 +1,96 @@
+// Crash-isolated campaign execution over a RunDir.
+//
+// The scheduler takes an explicit cell list (id + spec text), runs each
+// cell as a subprocess via a caller-supplied worker command, and drives
+// the retry/timeout state machine:
+//
+//           +--------- retry (backoff) ----------+
+//           v                                    |
+//   run --> crash / timeout / corrupt-output ----+--> failed (attempts
+//    |                                                exhausted)
+//    +--> clean exit + parseable artifact --> done
+//    +--> nonzero exit --> failed (fail fast: a worker that *reports*
+//         an error is deterministic; retrying cannot help)
+//
+// Timeouts escalate SIGTERM -> SIGKILL (common::run_subprocess). Corrupt
+// artifacts are quarantined before the retry so they can never shadow a
+// later good result. Statuses and the manifest are written atomically,
+// which is what makes a run directory resumable after kill -9: every
+// cell is either durably done or re-run from scratch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/run_dir.hpp"
+
+namespace htpb::core {
+
+/// One unit of isolated work: the spec text is written to
+/// cells/<id>.json and handed to the worker command verbatim.
+struct FleetCell {
+  std::string id;
+  std::string spec_text;
+};
+
+struct FleetConfig {
+  std::string run_dir;
+  int shards = 2;        ///< concurrent worker subprocesses
+  int max_attempts = 3;  ///< per cell, counting the first try
+  double timeout_seconds = 0.0;  ///< 0 = no per-cell timeout
+  double term_grace_seconds = 2.0;
+  double backoff_base_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+  std::uint64_t backoff_seed = 1;  ///< jitter is deterministic per (seed, cell, attempt)
+  bool resume = true;  ///< false = ignore existing statuses, re-run everything
+
+  /// Builds the worker argv for one cell. The scheduler sets
+  /// HTPB_FLEET_CELL / HTPB_FLEET_ATTEMPT in the child environment and
+  /// redirects the child's stdout/stderr to the run dir's logs/.
+  std::function<std::vector<std::string>(const std::string& spec_path,
+                                         const std::string& result_path)>
+      worker_command;
+
+  /// Optional progress sink; called under a mutex, one line per event.
+  std::function<void(const std::string&)> log;
+};
+
+struct FleetCellOutcome {
+  std::string id;
+  bool done = false;
+  bool resumed = false;  ///< skipped: prior run already completed it
+  int attempts = 0;      ///< attempts made THIS invocation (0 if resumed)
+  std::string fail_reason;
+  std::string last_error;
+};
+
+struct FleetReport {
+  std::vector<FleetCellOutcome> cells;
+  int done = 0;
+  int resumed = 0;
+  int failed = 0;
+  int attempts = 0;  ///< total subprocess launches this invocation
+};
+
+class FleetScheduler {
+ public:
+  explicit FleetScheduler(FleetConfig config);
+
+  /// Executes the campaign. `spec_fingerprint` identifies the campaign
+  /// spec; resuming into a run dir whose manifest carries a different
+  /// fingerprint throws (use a fresh directory per spec). Cell outcomes
+  /// are returned in the order of `cells` regardless of shard timing.
+  FleetReport run(const std::string& scenario_name,
+                  const std::string& spec_fingerprint,
+                  const std::vector<FleetCell>& cells);
+
+  [[nodiscard]] const RunDir& run_dir() const { return run_dir_; }
+
+ private:
+  FleetConfig config_;
+  RunDir run_dir_;
+};
+
+}  // namespace htpb::core

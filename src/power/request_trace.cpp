@@ -1,6 +1,7 @@
 #include "power/request_trace.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -69,9 +70,11 @@ T read_le(std::ifstream& in, const std::string& path) {
 }  // namespace
 
 void RequestTrace::save(const std::string& path) const {
+  errno = 0;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    throw std::runtime_error("RequestTrace::save: cannot write " + path);
+    throw std::runtime_error("RequestTrace::save: cannot write " + path +
+                             ": " + std::strerror(errno));
   }
   out.write(kTraceMagic, sizeof kTraceMagic);
   write_le<std::uint32_t>(out, kTraceFormatVersion);
@@ -95,9 +98,13 @@ void RequestTrace::save(const std::string& path) const {
 }
 
 RequestTrace RequestTrace::load(const std::string& path) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    throw std::runtime_error("RequestTrace::load: cannot open " + path);
+    // Name the path AND the OS reason: a typo'd trace path must read as
+    // "No such file", not as a bare parse failure downstream.
+    throw std::runtime_error("RequestTrace::load: cannot open " + path +
+                             ": " + std::strerror(errno));
   }
   char magic[sizeof kTraceMagic];
   if (!in.read(magic, sizeof magic) ||

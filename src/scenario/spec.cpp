@@ -743,6 +743,20 @@ ScenarioSpec ScenarioSpec::from_json(const json::Value& v) {
   return spec;
 }
 
+ScenarioSpec load_spec_file(const std::string& path) {
+  // parse_file already prefixes the path on read/parse errors; schema and
+  // validation errors speak in terms of "scenario.<field>" and need the
+  // file named too.
+  const json::Value doc = json::parse_file(path);
+  try {
+    ScenarioSpec spec = ScenarioSpec::from_json(doc);
+    spec.validate();
+    return spec;
+  } catch (const std::exception& e) {
+    throw std::runtime_error("scenario spec " + path + ": " + e.what());
+  }
+}
+
 // --------------------------------------------------------------- validate
 
 namespace {

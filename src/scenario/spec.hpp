@@ -336,6 +336,12 @@ struct ScenarioSpec {
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };
 
+/// Parses, deserializes and validates a spec file in one step. Every
+/// error -- unreadable file, malformed JSON, schema violation, validate()
+/// failure -- is rethrown with the offending path prefixed, so a fleet
+/// worker's stderr names which cell file broke.
+[[nodiscard]] ScenarioSpec load_spec_file(const std::string& path);
+
 /// Recursive JSON merge used by with_quick(): objects merge member-wise
 /// (patch members override or extend), every other patch value replaces
 /// the base wholesale.

@@ -1,0 +1,97 @@
+// atomic_write_file / read_file contract: the file either holds the full
+// new contents or is untouched, temp files never linger, and every error
+// names the path with the OS reason.
+#include "common/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using htpb::common::atomic_write_file;
+using htpb::common::read_file;
+
+class TempDir {
+ public:
+  TempDir() : path_(fs::current_path() / "atomic_file_tmp") {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const noexcept { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+TEST(AtomicFile, WriteThenReadRoundTrips) {
+  const TempDir dir;
+  const std::string path = (dir.path() / "out.json").string();
+  atomic_write_file(path, "{\"a\": 1}\n");
+  EXPECT_EQ(read_file(path), "{\"a\": 1}\n");
+}
+
+TEST(AtomicFile, OverwriteReplacesWholeContents) {
+  const TempDir dir;
+  const std::string path = (dir.path() / "out.json").string();
+  atomic_write_file(path, std::string(4096, 'x'));
+  atomic_write_file(path, "short");
+  // A non-atomic truncate-then-write would leave trailing 'x's on a
+  // partial write; rename semantics guarantee all-or-nothing.
+  EXPECT_EQ(read_file(path), "short");
+}
+
+TEST(AtomicFile, NoTempFileSurvivesAWrite) {
+  const TempDir dir;
+  const std::string path = (dir.path() / "out.json").string();
+  atomic_write_file(path, "data");
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1U);
+}
+
+TEST(AtomicFile, WriteIntoMissingDirectoryNamesThePath) {
+  const TempDir dir;
+  const std::string path = (dir.path() / "no_such_dir" / "out.json").string();
+  try {
+    atomic_write_file(path, "data");
+    FAIL() << "expected atomic_write_file to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("out.json"), std::string::npos) << what;
+    EXPECT_NE(what.find("No such file"), std::string::npos) << what;
+  }
+}
+
+TEST(AtomicFile, ReadMissingFileNamesThePath) {
+  const TempDir dir;
+  const std::string path = (dir.path() / "absent.json").string();
+  try {
+    (void)read_file(path);
+    FAIL() << "expected read_file to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("absent.json"), std::string::npos) << what;
+    EXPECT_NE(what.find("No such file"), std::string::npos) << what;
+  }
+}
+
+TEST(AtomicFile, EmptyContentsAreLegal) {
+  const TempDir dir;
+  const std::string path = (dir.path() / "empty").string();
+  atomic_write_file(path, "");
+  EXPECT_EQ(read_file(path), "");
+}
+
+}  // namespace

@@ -302,9 +302,32 @@ TEST(TraceIo, EmptyTraceRoundTrips) {
   EXPECT_EQ(power::RequestTrace::load(file.path()), trace);
 }
 
+TEST(TraceIo, SaveIntoMissingDirectoryNamesThePathAndReason) {
+  power::RequestTrace trace;
+  trace.node_count = 16;
+  trace.epoch_cycles = 500;
+  try {
+    trace.save("no_such_dir_htpb/trace.htpbtrc");
+    FAIL() << "save into a missing directory did not throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no_such_dir_htpb/trace.htpbtrc"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("No such file"), std::string::npos) << what;
+  }
+}
+
 TEST(TraceIo, RejectsCorruptAndForeignFiles) {
-  EXPECT_THROW((void)power::RequestTrace::load("does_not_exist.htpbtrc"),
-               std::runtime_error);
+  // The error must name the path AND the OS reason -- "cannot open" with
+  // neither is useless in a fleet log.
+  try {
+    (void)power::RequestTrace::load("does_not_exist.htpbtrc");
+    FAIL() << "load of a missing file did not throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("does_not_exist.htpbtrc"), std::string::npos) << what;
+    EXPECT_NE(what.find("No such file"), std::string::npos) << what;
+  }
 
   const TempFile garbage("trace_io_garbage.htpbtrc");
   {

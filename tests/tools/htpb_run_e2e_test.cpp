@@ -119,6 +119,18 @@ TEST(HtpbRunE2e, MissingSpecFileFailsWithThePathNamed) {
       run_tool(dir, "--scenario \"" + missing.string() + "\"");
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.err.find("no_such_spec.json"), std::string::npos) << r.err;
+  // ... and the OS reason, not just the name.
+  EXPECT_NE(r.err.find("No such file"), std::string::npos) << r.err;
+}
+
+TEST(HtpbRunE2e, MalformedSpecFileReportsPathAndParsePosition) {
+  const TempDir dir;
+  const fs::path torn = dir.path() / "torn_spec.json";
+  std::ofstream(torn) << "{\"name\": \"x\", \"kind\": ";
+  const RunResult r = run_tool(dir, "--scenario \"" + torn.string() + "\"");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("torn_spec.json"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("at offset"), std::string::npos) << r.err;
 }
 
 TEST(HtpbRunE2e, BadSetOverridesFailLoudly) {

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_inject.hpp"
 #include "common/json.hpp"
 #include "power/request_trace.hpp"
 #include "scenario/registry.hpp"
@@ -69,10 +70,7 @@ bool looks_like_path(const std::string& arg) {
 
 ScenarioSpec load_scenario(const std::string& arg) {
   if (looks_like_path(arg)) {
-    ScenarioSpec spec =
-        ScenarioSpec::from_json(htpb::json::parse_file(arg));
-    spec.validate();
-    return spec;
+    return htpb::scenario::load_spec_file(arg);
   }
   return htpb::scenario::scenario_or_throw(arg);
 }
@@ -178,6 +176,10 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
+
+  // Deterministic fault harness for the fleet tests: under
+  // HTPB_FLEET_FAULT this may abort, hang, or corrupt json_path and exit.
+  htpb::common::maybe_inject_fleet_fault(json_path);
 
   try {
     if (list) return list_registry();
