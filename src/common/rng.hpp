@@ -5,6 +5,7 @@
 // std::random_device or global generators anywhere in the code base.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -105,6 +106,15 @@ class Rng {
 
   /// Derive an independent child stream (for per-node generators).
   [[nodiscard]] Rng fork() noexcept { return Rng((*this)()); }
+
+  /// Raw generator state, for checkpointing. A restored stream continues
+  /// exactly where the saved one left off.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

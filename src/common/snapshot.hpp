@@ -1,0 +1,57 @@
+// Shared helpers for the checkpointing layer (ARCHITECTURE.md §11).
+//
+// Snapshots are JSON trees built with common/json. Two conventions keep a
+// save -> dump -> parse -> load round trip bit-identical:
+//  - doubles ride on json's shortest-round-trip formatting (exact);
+//  - 64-bit integers are stored as decimal strings, because a JSON number
+//    read back through double parsing would lose bits above 2^53 (Rng
+//    state words and packet tags use the full width).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/stats.hpp"
+
+namespace htpb::common {
+
+/// A 64-bit unsigned value as a JSON decimal string (lossless).
+[[nodiscard]] inline json::Value ju64(std::uint64_t v) {
+  return json::Value(std::to_string(v));
+}
+
+/// Inverse of ju64. Throws std::runtime_error on a malformed field.
+[[nodiscard]] inline std::uint64_t pu64(const json::Value& v) {
+  const std::string& s = v.as_string();
+  std::size_t used = 0;
+  const std::uint64_t out = std::stoull(s, &used);
+  if (used != s.size()) {
+    throw std::runtime_error("snapshot: malformed u64 field: " + s);
+  }
+  return out;
+}
+
+[[nodiscard]] inline json::Value stat_to_json(const RunningStat& s) {
+  const RunningStat::Raw r = s.raw();
+  json::Object o;
+  o["n"] = ju64(r.n);
+  o["mean"] = json::Value(r.mean);
+  o["m2"] = json::Value(r.m2);
+  o["min"] = json::Value(r.min);
+  o["max"] = json::Value(r.max);
+  return json::Value(std::move(o));
+}
+
+inline void stat_from_json(RunningStat& s, const json::Value& v) {
+  const json::Object& o = v.as_object();
+  RunningStat::Raw r;
+  r.n = pu64(*o.find("n"));
+  r.mean = o.find("mean")->as_double();
+  r.m2 = o.find("m2")->as_double();
+  r.min = o.find("min")->as_double();
+  r.max = o.find("max")->as_double();
+  s.set_raw(r);
+}
+
+}  // namespace htpb::common

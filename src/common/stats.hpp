@@ -25,6 +25,25 @@ class RunningStat {
   [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
   [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
 
+  /// Raw accumulator dump/restore, for checkpointing. The raw fields (not
+  /// the derived accessors) round-trip so a restored stat continues the
+  /// Welford recurrence bit-identically.
+  struct Raw {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] Raw raw() const noexcept { return {n_, mean_, m2_, min_, max_}; }
+  void set_raw(const Raw& r) noexcept {
+    n_ = r.n;
+    mean_ = r.mean;
+    m2_ = r.m2;
+    min_ = r.min;
+    max_ = r.max;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;

@@ -2,12 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
+#include "common/atomic_file.hpp"
+#include "common/json.hpp"
+#include "common/snapshot.hpp"
 #include "core/infection.hpp"
+#include "core/run_dir.hpp"
+#include "sim/event_desc.hpp"
 #include "system/manycore_system.hpp"
 #include "workload/benchmark_profile.hpp"
 
@@ -15,8 +26,191 @@ namespace htpb::core {
 
 namespace {
 
-/// See AttackCampaign::systems_simulated().
+/// See AttackCampaign::systems_simulated(). The warmup-prefix scratch
+/// runs (compute_warmup) are deliberately NOT counted here -- this
+/// counter's contract is "chip lifetimes run through the standard leg
+/// path" and the trace-replay tests assert exact deltas of it; scratch
+/// warmups are accounted by warmup_epochs_simulated instead.
 std::atomic<std::uint64_t> g_systems_simulated{0};
+
+/// See AttackCampaign::warmup_epochs_simulated().
+std::atomic<std::uint64_t> g_warmup_epochs_simulated{0};
+
+/// The attacker agent's power-on broadcast: a unicast CONFIG_CMD to every
+/// node covers every router under XY routing (the union of the paths from
+/// one source to all destinations is the full mesh).
+void broadcast_config(system::ManyCoreSystem& sys, NodeId agent_node,
+                      const TrojanConfig& config) {
+  for (NodeId n = 0; n < static_cast<NodeId>(sys.config().node_count());
+       ++n) {
+    auto pkt =
+        sys.network().make_packet(agent_node, n, noc::PacketType::kConfigCmd);
+    encode_config(config, *pkt);
+    sys.network().send(std::move(pkt));
+  }
+}
+
+json::Value trojan_config_to_json(const TrojanConfig& tc) {
+  json::Object o;
+  o["active"] = json::Value(tc.active);
+  o["attenuate_victims"] = json::Value(tc.attenuate_victims);
+  o["boost_attackers"] = json::Value(tc.boost_attackers);
+  o["victim_scale"] = json::Value(tc.victim_scale);
+  o["attacker_boost"] = json::Value(tc.attacker_boost);
+  o["global_manager"] = json::Value(static_cast<long long>(tc.global_manager));
+  json::Array agents;
+  for (const NodeId n : tc.attacker_agents) {
+    agents.push_back(json::Value(static_cast<long long>(n)));
+  }
+  o["attacker_agents"] = json::Value(std::move(agents));
+  o["adapt_enabled"] = json::Value(tc.adapt.enabled);
+  o["adapt_alpha"] = json::Value(tc.adapt.alpha);
+  o["adapt_backoff_ratio"] = json::Value(tc.adapt.backoff_ratio);
+  o["adapt_max_on_epochs"] =
+      json::Value(static_cast<long long>(tc.adapt.max_on_epochs));
+  o["adapt_hold_off_epochs"] =
+      json::Value(static_cast<long long>(tc.adapt.hold_off_epochs));
+  return json::Value(std::move(o));
+}
+
+TrojanConfig trojan_config_from_json(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  TrojanConfig tc;
+  tc.active = o.find("active")->as_bool();
+  tc.attenuate_victims = o.find("attenuate_victims")->as_bool();
+  tc.boost_attackers = o.find("boost_attackers")->as_bool();
+  tc.victim_scale = o.find("victim_scale")->as_double();
+  tc.attacker_boost = o.find("attacker_boost")->as_double();
+  tc.global_manager = static_cast<NodeId>(o.find("global_manager")->as_int());
+  tc.attacker_agents.clear();
+  for (const json::Value& n : o.find("attacker_agents")->as_array()) {
+    tc.attacker_agents.push_back(static_cast<NodeId>(n.as_int()));
+  }
+  tc.adapt.enabled = o.find("adapt_enabled")->as_bool();
+  tc.adapt.alpha = o.find("adapt_alpha")->as_double();
+  tc.adapt.backoff_ratio = o.find("adapt_backoff_ratio")->as_double();
+  tc.adapt.max_on_epochs =
+      static_cast<int>(o.find("adapt_max_on_epochs")->as_int());
+  tc.adapt.hold_off_epochs =
+      static_cast<int>(o.find("adapt_hold_off_epochs")->as_int());
+  return tc;
+}
+
+json::Value trace_to_json(const power::RequestTrace& trace) {
+  json::Object o;
+  o["node_count"] = json::Value(static_cast<long long>(trace.node_count));
+  o["epoch_cycles"] = common::ju64(trace.epoch_cycles);
+  json::Array epochs;
+  for (const power::TraceEpoch& ep : trace.epochs) {
+    json::Object e;
+    e["epoch_start"] = common::ju64(ep.epoch_start);
+    e["allocate_cycle"] = common::ju64(ep.allocate_cycle);
+    e["budget_mw"] = common::ju64(ep.budget_mw);
+    json::Array reqs;
+    for (const power::BudgetRequest& r : ep.requests) {
+      json::Array a;
+      a.push_back(json::Value(static_cast<long long>(r.node)));
+      a.push_back(json::Value(static_cast<long long>(r.app)));
+      a.push_back(json::Value(static_cast<long long>(r.request_mw)));
+      reqs.push_back(json::Value(std::move(a)));
+    }
+    e["requests"] = json::Value(std::move(reqs));
+    epochs.push_back(json::Value(std::move(e)));
+  }
+  o["epochs"] = json::Value(std::move(epochs));
+  return json::Value(std::move(o));
+}
+
+power::RequestTrace trace_from_json(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  power::RequestTrace trace;
+  trace.node_count = static_cast<int>(o.find("node_count")->as_int());
+  trace.epoch_cycles = common::pu64(*o.find("epoch_cycles"));
+  for (const json::Value& ev : o.find("epochs")->as_array()) {
+    const json::Object& e = ev.as_object();
+    power::TraceEpoch ep;
+    ep.epoch_start = common::pu64(*e.find("epoch_start"));
+    ep.allocate_cycle = common::pu64(*e.find("allocate_cycle"));
+    ep.budget_mw = common::pu64(*e.find("budget_mw"));
+    for (const json::Value& rv : e.find("requests")->as_array()) {
+      const json::Array& a = rv.as_array();
+      power::BudgetRequest r;
+      r.node = static_cast<NodeId>(a.at(0).as_int());
+      r.app = static_cast<AppId>(a.at(1).as_int());
+      r.request_mw = static_cast<std::uint32_t>(a.at(2).as_int());
+      ep.requests.push_back(r);
+    }
+    trace.epochs.push_back(std::move(ep));
+  }
+  return trace;
+}
+
+json::Value detector_config_fingerprint_json(const power::DetectorConfig& d) {
+  json::Object o;
+  o["kind"] = json::Value(static_cast<long long>(d.kind));
+  o["history_alpha"] = json::Value(d.history_alpha);
+  o["low_ratio"] = json::Value(d.low_ratio);
+  o["high_ratio"] = json::Value(d.high_ratio);
+  o["warmup_epochs"] = json::Value(static_cast<long long>(d.warmup_epochs));
+  o["confirm_epochs"] = json::Value(static_cast<long long>(d.confirm_epochs));
+  return json::Value(std::move(o));
+}
+
+/// Canonical serialization of every SystemConfig field that can move the
+/// simulated dynamics. The power model has no field accessors; its
+/// observable effect -- milliwatts at every ladder level -- is a faithful
+/// encoding (two levels already pin both parameters).
+json::Value system_config_fingerprint_json(const system::SystemConfig& sc) {
+  json::Object o;
+  o["width"] = json::Value(static_cast<long long>(sc.width));
+  o["height"] = json::Value(static_cast<long long>(sc.height));
+  json::Object noc;
+  noc["vcs"] = json::Value(static_cast<long long>(sc.noc.vcs));
+  noc["vc_depth"] = json::Value(static_cast<long long>(sc.noc.vc_depth));
+  noc["data_packet_flits"] =
+      json::Value(static_cast<long long>(sc.noc.data_packet_flits));
+  noc["meta_packet_flits"] =
+      json::Value(static_cast<long long>(sc.noc.meta_packet_flits));
+  noc["command_packet_flits"] =
+      json::Value(static_cast<long long>(sc.noc.command_packet_flits));
+  noc["router_latency"] =
+      json::Value(static_cast<long long>(sc.noc.router_latency));
+  noc["link_latency"] = json::Value(static_cast<long long>(sc.noc.link_latency));
+  noc["routing"] = json::Value(static_cast<long long>(sc.noc.routing));
+  o["noc"] = json::Value(std::move(noc));
+  json::Object l1;
+  l1["sets"] = common::ju64(sc.l1.sets);
+  l1["ways"] = json::Value(static_cast<long long>(sc.l1.ways));
+  l1["mshrs"] = json::Value(static_cast<long long>(sc.l1.mshrs));
+  o["l1"] = json::Value(std::move(l1));
+  json::Object l2;
+  l2["sets"] = common::ju64(sc.l2.sets);
+  l2["ways"] = json::Value(static_cast<long long>(sc.l2.ways));
+  l2["mem_latency"] = common::ju64(sc.l2.mem_latency);
+  o["l2"] = json::Value(std::move(l2));
+  json::Array freqs;
+  for (int i = 0; i < sc.freqs.num_levels(); ++i) {
+    json::Array lvl;
+    lvl.push_back(json::Value(sc.freqs.ghz(i)));
+    lvl.push_back(json::Value(sc.freqs.volts(i)));
+    lvl.push_back(json::Value(
+        static_cast<long long>(sc.power_model.milliwatts_at(sc.freqs, i))));
+    freqs.push_back(json::Value(std::move(lvl)));
+  }
+  o["freqs_power"] = json::Value(std::move(freqs));
+  o["budgeter"] = json::Value(static_cast<long long>(sc.budgeter));
+  o["guard_requests"] = json::Value(sc.guard_requests);
+  o["guard_config"] = detector_config_fingerprint_json(sc.guard_config);
+  o["budget_fraction"] = json::Value(sc.budget_fraction);
+  o["epoch_cycles"] = common::ju64(sc.epoch_cycles);
+  o["collect_window"] = common::ju64(sc.collect_window);
+  o["first_epoch_cycle"] = common::ju64(sc.first_epoch_cycle);
+  o["gm_placement"] = json::Value(static_cast<long long>(sc.gm_placement));
+  o["gm_node"] = json::Value(
+      static_cast<long long>(sc.gm_node.has_value() ? *sc.gm_node : -1));
+  o["seed"] = common::ju64(sc.seed);
+  return json::Value(std::move(o));
+}
 
 /// Uniform light workload for infection-only experiments: every core runs
 /// one thread of the same moderately communicating benchmark.
@@ -28,6 +222,203 @@ workload::Mix uniform_mix() {
 }
 
 }  // namespace
+
+/// One leg's attack wiring, owned by the leg frame: the implanted Trojans
+/// and the duty-cycle controller state the engine's kCampaignToggle /
+/// kCampaignAdapt handlers mutate. The handlers close over this struct by
+/// reference (wiring, never serialized); the *state* fields are what the
+/// warmup checkpoint captures and restores.
+struct AttackFrame {
+  std::vector<std::unique_ptr<HardwareTrojan>> trojans;
+  /// The resolved broadcast configuration (immutable after install).
+  TrojanConfig tc;
+  NodeId agent_node = 0;
+  Cycle toggle_period = 0;  ///< >0 iff the periodic toggle is engaged
+
+  // -- checkpointed controller state --------------------------------------
+  TrojanConfig toggle_state;
+  struct Adapt {
+    bool active = true;
+    int on_streak = 0;
+    int hold = 0;
+    double reference = 0.0;
+    bool reference_valid = false;
+  };
+  Adapt adapt_state;
+  /// Adaptation decisions taken by THIS frame (warmup included); the leg
+  /// adds it into the run's running totals when it finishes.
+  AdaptationOutcome adapt_totals;
+  bool adapt_engaged = false;
+};
+
+/// Everything a forked run needs to resume at the end of warmup: the chip
+/// snapshot, the Trojans' latched registers, the duty-cycle controller
+/// state, and the warmup request stream (replayed through the arm's own
+/// detector/response, which the checkpoint deliberately excludes).
+struct WarmupCheckpoint {
+  std::string fingerprint;
+  json::Value system;
+  std::vector<json::Value> trojans;  ///< aligned with the placement order
+  TrojanConfig toggle_state;
+  AttackFrame::Adapt adapt_state;
+  AdaptationOutcome adapt_totals;
+  power::RequestTrace trace;  ///< the warmup epochs, in order
+};
+
+namespace {
+
+constexpr long long kWarmupCheckpointSchema = 1;
+
+json::Value adapt_state_to_json(const AttackFrame::Adapt& a) {
+  json::Object o;
+  o["active"] = json::Value(a.active);
+  o["on_streak"] = json::Value(static_cast<long long>(a.on_streak));
+  o["hold"] = json::Value(static_cast<long long>(a.hold));
+  o["reference"] = json::Value(a.reference);
+  o["reference_valid"] = json::Value(a.reference_valid);
+  return json::Value(std::move(o));
+}
+
+AttackFrame::Adapt adapt_state_from_json(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  AttackFrame::Adapt a;
+  a.active = o.find("active")->as_bool();
+  a.on_streak = static_cast<int>(o.find("on_streak")->as_int());
+  a.hold = static_cast<int>(o.find("hold")->as_int());
+  a.reference = o.find("reference")->as_double();
+  a.reference_valid = o.find("reference_valid")->as_bool();
+  return a;
+}
+
+json::Value warmup_payload_to_json(const WarmupCheckpoint& ck) {
+  json::Object o;
+  o["system"] = ck.system;
+  json::Array trojans;
+  for (const json::Value& t : ck.trojans) trojans.push_back(t);
+  o["trojans"] = json::Value(std::move(trojans));
+  o["toggle_state"] = trojan_config_to_json(ck.toggle_state);
+  o["adapt_state"] = adapt_state_to_json(ck.adapt_state);
+  json::Object totals;
+  totals["epochs_on"] =
+      json::Value(static_cast<long long>(ck.adapt_totals.epochs_on));
+  totals["epochs_off"] =
+      json::Value(static_cast<long long>(ck.adapt_totals.epochs_off));
+  totals["backoffs"] =
+      json::Value(static_cast<long long>(ck.adapt_totals.backoffs));
+  o["adapt_totals"] = json::Value(std::move(totals));
+  o["trace"] = trace_to_json(ck.trace);
+  return json::Value(std::move(o));
+}
+
+std::shared_ptr<const WarmupCheckpoint> warmup_payload_from_json(
+    const json::Value& v, const std::string& fp) {
+  const json::Object& o = v.as_object();
+  auto ck = std::make_shared<WarmupCheckpoint>();
+  ck->fingerprint = fp;
+  ck->system = *o.find("system");
+  for (const json::Value& t : o.find("trojans")->as_array()) {
+    ck->trojans.push_back(t);
+  }
+  ck->toggle_state = trojan_config_from_json(*o.find("toggle_state"));
+  ck->adapt_state = adapt_state_from_json(*o.find("adapt_state"));
+  const json::Object& totals = o.find("adapt_totals")->as_object();
+  ck->adapt_totals.epochs_on =
+      static_cast<int>(totals.find("epochs_on")->as_int());
+  ck->adapt_totals.epochs_off =
+      static_cast<int>(totals.find("epochs_off")->as_int());
+  ck->adapt_totals.backoffs =
+      static_cast<int>(totals.find("backoffs")->as_int());
+  ck->trace = trace_from_json(*o.find("trace"));
+  return ck;
+}
+
+/// Loads a persisted checkpoint. Returns nullptr -- caller recomputes --
+/// on ANY defect: unreadable file, unparseable JSON, schema or
+/// fingerprint mismatch, or a payload whose checksum does not match (a
+/// torn or hand-edited file must never be restored into a simulation).
+std::shared_ptr<const WarmupCheckpoint> load_warmup_file(
+    const std::string& path, const std::string& fp) {
+  try {
+    const json::Value v = json::parse(common::read_file(path));
+    const json::Object& o = v.as_object();
+    if (!o.contains("schema") ||
+        o.find("schema")->as_int() != kWarmupCheckpointSchema) {
+      return nullptr;
+    }
+    if (!o.contains("fingerprint") ||
+        o.find("fingerprint")->as_string() != fp) {
+      return nullptr;
+    }
+    if (!o.contains("checksum") || !o.contains("payload")) return nullptr;
+    const json::Value& payload = *o.find("payload");
+    if (o.find("checksum")->as_string() != fingerprint(json::dump(payload))) {
+      return nullptr;
+    }
+    return warmup_payload_from_json(payload, fp);
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
+
+void save_warmup_file(const std::string& path, const WarmupCheckpoint& ck) {
+  json::Object o;
+  o["schema"] = json::Value(kWarmupCheckpointSchema);
+  o["fingerprint"] = json::Value(ck.fingerprint);
+  json::Value payload = warmup_payload_to_json(ck);
+  o["checksum"] = json::Value(fingerprint(json::dump(payload)));
+  o["payload"] = std::move(payload);
+  common::atomic_write_file(path, json::dump(json::Value(std::move(o))));
+}
+
+}  // namespace
+
+/// Compute-once store of warmup checkpoints keyed by prefix fingerprint.
+/// The first caller for a fingerprint computes (publishing a future so
+/// concurrent arms wait instead of duplicating the work); a failed
+/// computation publishes nullptr, which callers treat as "simulate the
+/// warmup yourself". Bounded: oldest completed entries are evicted first
+/// (in-flight shared_ptrs keep evicted checkpoints alive).
+class WarmupCache {
+ public:
+  using Checkpoint = std::shared_ptr<const WarmupCheckpoint>;
+  static constexpr std::size_t kMaxEntries = 128;
+
+  Checkpoint get_or_compute(const std::string& fp,
+                            const std::function<Checkpoint()>& compute) {
+    std::promise<Checkpoint> promise;
+    std::shared_future<Checkpoint> fut;
+    bool compute_here = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = entries_.find(fp);
+      if (it != entries_.end()) {
+        fut = it->second;
+      } else {
+        fut = promise.get_future().share();
+        entries_.emplace(fp, fut);
+        order_.push_back(fp);
+        if (order_.size() > kMaxEntries) {
+          entries_.erase(order_.front());
+          order_.pop_front();
+        }
+        compute_here = true;
+      }
+    }
+    if (compute_here) {
+      try {
+        promise.set_value(compute());
+      } catch (const std::exception&) {
+        promise.set_value(nullptr);  // waiters fall back, never wedge
+      }
+    }
+    return fut.get();
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::shared_future<Checkpoint>> entries_;
+  std::deque<std::string> order_;
+};
 
 AttackCampaign::AttackCampaign(CampaignConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.system.validate();
@@ -71,6 +462,7 @@ AttackCampaign::AttackCampaign(CampaignConfig cfg) : cfg_(std::move(cfg)) {
       }
     }
   }
+  warmup_cache_ = std::make_shared<WarmupCache>();
 }
 
 AttackCampaign::RunResult AttackCampaign::run_system(
@@ -131,146 +523,76 @@ AttackCampaign::RunResult AttackCampaign::run_system(
     if (response != nullptr && !migrate_mode) {
       sys.gm().attach_response(response.get());
     }
-    if (trace != nullptr) sys.gm().attach_recorder(trace);
 
-    // Duty-cycle toggle state. Owned by this frame -- alive across
-    // sys.run_epochs below, gone with it -- NOT by the scheduled
-    // closures: the old wiring stored the toggle in a
-    // shared_ptr<std::function> whose closure captured that same
-    // shared_ptr by value, a reference cycle that leaked one function +
-    // TrojanConfig per duty-cycled run.
-    TrojanConfig toggle_state;
-    std::function<void()> toggle_fn;
-    // Adaptive-agent state, same ownership pattern.
-    struct AdaptState {
-      bool active = true;
-      int on_streak = 0;
-      int hold = 0;
-      double reference = 0.0;
-      bool reference_valid = false;
-    };
-    AdaptState adapt_state;
-    std::function<void()> adapt_fn;
+    // Implant the Trojans, broadcast the attacker's configuration and arm
+    // the duty-cycle controllers. The frame owns every piece of attack
+    // state for this leg; the engine handlers close over it by reference.
+    AttackFrame frame;
+    install_attack(sys, apps, ht_nodes, frame);
 
-    // Implant the Trojans (fab-time insertion: present before power-on).
-    std::vector<std::unique_ptr<HardwareTrojan>> trojans;
-    trojans.reserve(ht_nodes.size());
-    for (const NodeId node : ht_nodes) {
-      auto ht = std::make_unique<HardwareTrojan>(node);
-      sys.network().add_inspector(node, ht.get());
-      trojans.push_back(std::move(ht));
-    }
-
-    // The attacker's agent broadcasts the configuration at power-on. A
-    // unicast to every node covers every router under XY routing (the
-    // union of the paths from one source to all destinations is the full
-    // mesh).
-    if (!ht_nodes.empty()) {
-      TrojanConfig tc = cfg_.trojan;
-      tc.global_manager = gm_node_;
-      tc.attacker_agents.clear();
-      for (const auto& app : apps) {
-        if (!app.is_attacker()) continue;
-        tc.attacker_agents.insert(tc.attacker_agents.end(), app.cores.begin(),
-                                  app.cores.end());
-      }
-      // Derived from this leg's mapping so a migrated agent broadcasts
-      // from its new core (leg 1 reproduces agent_node_ exactly).
-      NodeId agent_node = agent_node_;
-      if (!cfg_.attacker_agent.has_value() && !tc.attacker_agents.empty()) {
-        agent_node = tc.attacker_agents.front();
-      }
-      if (tc.attacker_agents.empty()) tc.attacker_agents.push_back(agent_node);
-
-      const auto broadcast = [&sys, agent_node,
-                              this](const TrojanConfig& config) {
-        for (NodeId n = 0; n < static_cast<NodeId>(cfg_.system.node_count());
-             ++n) {
-          auto pkt = sys.network().make_packet(agent_node, n,
-                                               noc::PacketType::kConfigCmd);
-          encode_config(config, *pkt);
-          sys.network().send(std::move(pkt));
+    // Warmup: fork from the shared prefix checkpoint when one is (or can
+    // be made) available, otherwise simulate it cycle by cycle.
+    bool forked = false;
+    if (cfg_.warmup_fork && cfg_.warmup_epochs > 0) {
+      const auto ckpt =
+          obtain_warmup(warmup_fingerprint(apps, ht_nodes), apps, ht_nodes);
+      if (ckpt != nullptr && ckpt->trojans.size() == frame.trojans.size()) {
+        // Detectors are observational, so feeding the checkpoint's
+        // recorded warmup request stream to this arm's fresh detector
+        // reproduces, bit for bit, the state an in-simulation detector
+        // would hold at the cut (the request_trace replay contract). The
+        // response engine is stepped alongside; if it would have
+        // sanctioned during warmup, the checkpoint's response-free
+        // dynamics are invalid for this arm and it re-simulates in full.
+        bool valid = true;
+        for (const power::TraceEpoch& ep : ckpt->trace.epochs) {
+          power::DetectorReport newly;
+          if (detector != nullptr) newly = detector->observe_epoch(ep.requests);
+          if (response != nullptr && !migrate_mode) {
+            response->begin_epoch(newly);
+            if (response->any_sanctioned()) {
+              valid = false;
+              break;
+            }
+            response->end_epoch();
+          }
         }
-      };
-      broadcast(tc);
-
-      if (cfg_.toggle_period_epochs > 0) {
-        // Periodic ON/OFF re-broadcasts (Sec. III-B duty-cycling). The
-        // closure re-schedules the frame-owned toggle_fn by reference
-        // (each engine event holds its own copy of the closure, never an
-        // owning handle to itself); `broadcast` is captured by value
-        // because it dies with this block.
-        const Cycle period = static_cast<Cycle>(cfg_.toggle_period_epochs) *
-                             cfg_.system.epoch_cycles;
-        toggle_state = tc;
-        toggle_fn = [&sys, broadcast, period, &state = toggle_state,
-                     &self = toggle_fn]() {
-          state.active = !state.active;
-          broadcast(state);
-          sys.engine().schedule_in(period, self);
-        };
-        sys.engine().schedule_in(period, toggle_fn);
-      }
-
-      if (tc.adapt.enabled) {
-        // The closed loop's attacker half (TrojanAdaptation): one
-        // decision per epoch, taken one cycle before the next epoch
-        // opens -- every grant of the closing epoch has landed and the
-        // re-broadcast deterministically precedes the next requests.
-        adapt_engaged = true;
-        adapt_state.active = tc.active;
-        const Cycle period = cfg_.system.epoch_cycles;
-        adapt_fn = [&sys, broadcast, tc, period, &st = adapt_state,
-                    &totals = adapt_totals, &self = adapt_fn]() {
-          double sum = 0.0;
-          for (const NodeId n : tc.attacker_agents) {
-            sum += static_cast<double>(sys.last_grant_mw(n));
+        if (valid) {
+          sys.load_state(ckpt->system);
+          for (std::size_t i = 0; i < frame.trojans.size(); ++i) {
+            frame.trojans[i]->load_state(ckpt->trojans[i]);
           }
-          const double mean_grant =
-              tc.attacker_agents.empty()
-                  ? 0.0
-                  : sum / static_cast<double>(tc.attacker_agents.size());
-          if (st.active) {
-            ++totals.epochs_on;
-            ++st.on_streak;
-            // A grant well below the hiding-time reference means a
-            // sanction landed; back off longer than a voluntary rest.
-            const bool sanctioned =
-                st.reference_valid &&
-                mean_grant < tc.adapt.backoff_ratio * st.reference;
-            if (sanctioned || st.on_streak >= tc.adapt.max_on_epochs) {
-              st.active = false;
-              st.on_streak = 0;
-              st.hold = sanctioned ? 2 * tc.adapt.hold_off_epochs
-                                   : tc.adapt.hold_off_epochs;
-              if (sanctioned) ++totals.backoffs;
-              TrojanConfig off = tc;
-              off.active = false;
-              broadcast(off);
-            }
-          } else {
-            ++totals.epochs_off;
-            st.reference = st.reference_valid
-                               ? (1.0 - tc.adapt.alpha) * st.reference +
-                                     tc.adapt.alpha * mean_grant
-                               : mean_grant;
-            st.reference_valid = true;
-            if (--st.hold <= 0) {
-              st.active = true;
-              TrojanConfig on = tc;
-              on.active = true;
-              broadcast(on);
-            }
+          frame.toggle_state = ckpt->toggle_state;
+          frame.adapt_state = ckpt->adapt_state;
+          frame.adapt_totals = ckpt->adapt_totals;
+          if (trace != nullptr) {
+            trace->epochs.insert(trace->epochs.end(),
+                                 ckpt->trace.epochs.begin(),
+                                 ckpt->trace.epochs.end());
           }
-          sys.engine().schedule_in(period, self);
-        };
-        sys.engine().schedule_in(
-            cfg_.system.first_epoch_cycle + cfg_.system.epoch_cycles - 1,
-            adapt_fn);
+          forked = true;
+        } else {
+          // The failed replay polluted the fresh detector and response;
+          // rebuild both before simulating the warmup for real. (Only
+          // single-leg policies land here: migrate never attaches the
+          // response, so its replay cannot be invalidated.)
+          detector = cfg_.detector_factory
+                         ? cfg_.detector_factory(*cfg_.detector)
+                         : power::make_detector(*cfg_.detector);
+          sys.gm().attach_detector(detector.get());
+          response = std::make_unique<power::ResponseEngine>(*cfg_.response);
+          response->attach_detector(detector.get());
+          sys.gm().attach_response(response.get());
+        }
       }
     }
-
-    sys.run_epochs(cfg_.warmup_epochs);
+    if (trace != nullptr) sys.gm().attach_recorder(trace);
+    if (!forked && cfg_.warmup_epochs > 0) {
+      g_warmup_epochs_simulated.fetch_add(
+          static_cast<std::uint64_t>(cfg_.warmup_epochs),
+          std::memory_order_relaxed);
+      sys.run_epochs(cfg_.warmup_epochs);
+    }
     sys.reset_measurement();
     int measured = 0;
     if (stop_on_flag && detector != nullptr) {
@@ -312,7 +634,7 @@ AttackCampaign::RunResult AttackCampaign::run_system(
           static_cast<double>(hist[i].victim_granted_mw));
     }
 
-    for (const auto& ht : trojans) {
+    for (const auto& ht : frame.trojans) {
       const TrojanStats& s = ht->stats();
       result.trojan_totals.config_packets_seen += s.config_packets_seen;
       result.trojan_totals.power_requests_seen += s.power_requests_seen;
@@ -320,6 +642,12 @@ AttackCampaign::RunResult AttackCampaign::run_system(
           s.victim_requests_modified;
       result.trojan_totals.attacker_requests_boosted +=
           s.attacker_requests_boosted;
+    }
+    if (frame.adapt_engaged) {
+      adapt_engaged = true;
+      adapt_totals.epochs_on += frame.adapt_totals.epochs_on;
+      adapt_totals.epochs_off += frame.adapt_totals.epochs_off;
+      adapt_totals.backoffs += frame.adapt_totals.backoffs;
     }
     return measured;
   };
@@ -437,6 +765,227 @@ CampaignOutcome AttackCampaign::run(std::span<const NodeId> ht_nodes) {
 
 std::uint64_t AttackCampaign::systems_simulated() noexcept {
   return g_systems_simulated.load(std::memory_order_relaxed);
+}
+
+std::uint64_t AttackCampaign::warmup_epochs_simulated() noexcept {
+  return g_warmup_epochs_simulated.load(std::memory_order_relaxed);
+}
+
+void AttackCampaign::install_attack(
+    system::ManyCoreSystem& sys,
+    const std::vector<workload::Application>& apps,
+    std::span<const NodeId> ht_nodes, AttackFrame& frame) const {
+  // Implant the Trojans (fab-time insertion: present before power-on).
+  frame.trojans.reserve(ht_nodes.size());
+  for (const NodeId node : ht_nodes) {
+    auto ht = std::make_unique<HardwareTrojan>(node);
+    sys.network().add_inspector(node, ht.get());
+    frame.trojans.push_back(std::move(ht));
+  }
+  if (ht_nodes.empty()) return;
+
+  TrojanConfig tc = cfg_.trojan;
+  tc.global_manager = gm_node_;
+  tc.attacker_agents.clear();
+  for (const auto& app : apps) {
+    if (!app.is_attacker()) continue;
+    tc.attacker_agents.insert(tc.attacker_agents.end(), app.cores.begin(),
+                              app.cores.end());
+  }
+  // Derived from this leg's mapping so a migrated agent broadcasts from
+  // its new core (leg 1 reproduces agent_node_ exactly).
+  NodeId agent_node = agent_node_;
+  if (!cfg_.attacker_agent.has_value() && !tc.attacker_agents.empty()) {
+    agent_node = tc.attacker_agents.front();
+  }
+  if (tc.attacker_agents.empty()) tc.attacker_agents.push_back(agent_node);
+  frame.tc = tc;
+  frame.agent_node = agent_node;
+
+  broadcast_config(sys, agent_node, tc);
+
+  if (cfg_.toggle_period_epochs > 0) {
+    // Periodic ON/OFF re-broadcasts (Sec. III-B duty-cycling), driven by
+    // serializable kCampaignToggle events: the handler -- wiring, closed
+    // over the frame -- flips the frame-owned state and re-schedules the
+    // next descriptor, so a snapshot cut between toggles checkpoints the
+    // pending event and the controller state, never a closure.
+    frame.toggle_period = static_cast<Cycle>(cfg_.toggle_period_epochs) *
+                          cfg_.system.epoch_cycles;
+    frame.toggle_state = tc;
+    sys.engine().set_handler(
+        sim::EventKind::kCampaignToggle, -1,
+        [&sys, &frame](const sim::EventDesc&) {
+          frame.toggle_state.active = !frame.toggle_state.active;
+          broadcast_config(sys, frame.agent_node, frame.toggle_state);
+          sys.engine().schedule_desc_in(
+              frame.toggle_period,
+              sim::EventDesc{sim::EventKind::kCampaignToggle, -1, 0, 0});
+        });
+    sys.engine().schedule_desc_in(
+        frame.toggle_period,
+        sim::EventDesc{sim::EventKind::kCampaignToggle, -1, 0, 0});
+  }
+
+  if (tc.adapt.enabled) {
+    // The closed loop's attacker half (TrojanAdaptation): one decision
+    // per epoch, taken one cycle before the next epoch opens -- every
+    // grant of the closing epoch has landed and the re-broadcast
+    // deterministically precedes the next requests. Same serializable
+    // descriptor pattern as the toggle.
+    frame.adapt_engaged = true;
+    frame.adapt_state.active = tc.active;
+    const Cycle period = cfg_.system.epoch_cycles;
+    sys.engine().set_handler(
+        sim::EventKind::kCampaignAdapt, -1,
+        [&sys, &frame, period](const sim::EventDesc&) {
+          const TrojanConfig& tc = frame.tc;
+          AttackFrame::Adapt& st = frame.adapt_state;
+          AdaptationOutcome& totals = frame.adapt_totals;
+          double sum = 0.0;
+          for (const NodeId n : tc.attacker_agents) {
+            sum += static_cast<double>(sys.last_grant_mw(n));
+          }
+          const double mean_grant =
+              tc.attacker_agents.empty()
+                  ? 0.0
+                  : sum / static_cast<double>(tc.attacker_agents.size());
+          if (st.active) {
+            ++totals.epochs_on;
+            ++st.on_streak;
+            // A grant well below the hiding-time reference means a
+            // sanction landed; back off longer than a voluntary rest.
+            const bool sanctioned =
+                st.reference_valid &&
+                mean_grant < tc.adapt.backoff_ratio * st.reference;
+            if (sanctioned || st.on_streak >= tc.adapt.max_on_epochs) {
+              st.active = false;
+              st.on_streak = 0;
+              st.hold = sanctioned ? 2 * tc.adapt.hold_off_epochs
+                                   : tc.adapt.hold_off_epochs;
+              if (sanctioned) ++totals.backoffs;
+              TrojanConfig off = tc;
+              off.active = false;
+              broadcast_config(sys, frame.agent_node, off);
+            }
+          } else {
+            ++totals.epochs_off;
+            st.reference = st.reference_valid
+                               ? (1.0 - tc.adapt.alpha) * st.reference +
+                                     tc.adapt.alpha * mean_grant
+                               : mean_grant;
+            st.reference_valid = true;
+            if (--st.hold <= 0) {
+              st.active = true;
+              TrojanConfig on = tc;
+              on.active = true;
+              broadcast_config(sys, frame.agent_node, on);
+            }
+          }
+          sys.engine().schedule_desc_in(
+              period, sim::EventDesc{sim::EventKind::kCampaignAdapt, -1, 0, 0});
+        });
+    sys.engine().schedule_desc_in(
+        cfg_.system.first_epoch_cycle + cfg_.system.epoch_cycles - 1,
+        sim::EventDesc{sim::EventKind::kCampaignAdapt, -1, 0, 0});
+  }
+}
+
+std::string AttackCampaign::warmup_fingerprint(
+    const std::vector<workload::Application>& apps,
+    std::span<const NodeId> ht_nodes) const {
+  json::Object o;
+  o["schema"] = json::Value(kWarmupCheckpointSchema);
+  o["system"] = system_config_fingerprint_json(cfg_.system);
+  json::Array japps;
+  for (const auto& app : apps) {
+    json::Object a;
+    a["id"] = json::Value(static_cast<long long>(app.id));
+    a["name"] = json::Value(app.profile.name);
+    a["cpi_base"] = json::Value(app.profile.cpi_base);
+    a["apki"] = json::Value(app.profile.apki);
+    a["working_set_lines"] = common::ju64(app.profile.working_set_lines);
+    a["shared_lines"] = common::ju64(app.profile.shared_lines);
+    a["shared_fraction"] = json::Value(app.profile.shared_fraction);
+    a["write_fraction"] = json::Value(app.profile.write_fraction);
+    a["threads"] = json::Value(static_cast<long long>(app.threads));
+    a["attacker"] = json::Value(app.is_attacker());
+    json::Array cores;
+    for (const NodeId c : app.cores) {
+      cores.push_back(json::Value(static_cast<long long>(c)));
+    }
+    a["cores"] = json::Value(std::move(cores));
+    japps.push_back(json::Value(std::move(a)));
+  }
+  o["apps"] = json::Value(std::move(japps));
+  json::Array hts;
+  for (const NodeId n : ht_nodes) {
+    hts.push_back(json::Value(static_cast<long long>(n)));
+  }
+  o["ht_nodes"] = json::Value(std::move(hts));
+  o["trojan"] = trojan_config_to_json(cfg_.trojan);
+  o["warmup_epochs"] = json::Value(static_cast<long long>(cfg_.warmup_epochs));
+  o["toggle_period_epochs"] =
+      json::Value(static_cast<long long>(cfg_.toggle_period_epochs));
+  o["attacker_agent"] = json::Value(static_cast<long long>(
+      cfg_.attacker_agent.has_value() ? *cfg_.attacker_agent : -1));
+  o["gm_node"] = json::Value(static_cast<long long>(gm_node_));
+  return fingerprint(json::dump(json::Value(std::move(o))));
+}
+
+std::shared_ptr<const WarmupCheckpoint> AttackCampaign::obtain_warmup(
+    const std::string& fp, const std::vector<workload::Application>& apps,
+    std::span<const NodeId> ht_nodes) {
+  if (warmup_cache_ == nullptr) return nullptr;
+  return warmup_cache_->get_or_compute(fp, [&]() {
+    const std::string path = cfg_.checkpoint_dir.empty()
+                                 ? std::string()
+                                 : cfg_.checkpoint_dir + "/warmup-" + fp +
+                                       ".json";
+    if (!path.empty()) {
+      if (auto loaded = load_warmup_file(path, fp)) return loaded;
+    }
+    auto ck = compute_warmup(fp, apps, ht_nodes);
+    if (!path.empty() && ck != nullptr) {
+      // Persistence is an optimization; a read-only or missing directory
+      // must not fail the run itself.
+      try {
+        save_warmup_file(path, *ck);
+      } catch (const std::exception&) {
+      }
+    }
+    return ck;
+  });
+}
+
+std::shared_ptr<const WarmupCheckpoint> AttackCampaign::compute_warmup(
+    const std::string& fp, const std::vector<workload::Application>& apps,
+    std::span<const NodeId> ht_nodes) const {
+  // The scratch run is exactly the prefix every sharing arm would have
+  // simulated: same construction order, same implants, same broadcast,
+  // same duty-cycle controllers. Detectors and responses are *absent* --
+  // they are arm-specific; detectors are replayed from the recorded
+  // request stream and a response that would have acted invalidates the
+  // fork (checked by the arm).
+  g_warmup_epochs_simulated.fetch_add(
+      static_cast<std::uint64_t>(cfg_.warmup_epochs),
+      std::memory_order_relaxed);
+  auto ck = std::make_shared<WarmupCheckpoint>();
+  ck->fingerprint = fp;
+  system::ManyCoreSystem sys(cfg_.system, apps);
+  ck->trace.node_count = cfg_.system.node_count();
+  ck->trace.epoch_cycles = cfg_.system.epoch_cycles;
+  sys.gm().attach_recorder(&ck->trace);
+  AttackFrame frame;
+  install_attack(sys, apps, ht_nodes, frame);
+  sys.run_epochs(cfg_.warmup_epochs);
+  ck->system = sys.save_state();
+  ck->trojans.reserve(frame.trojans.size());
+  for (const auto& ht : frame.trojans) ck->trojans.push_back(ht->save_state());
+  ck->toggle_state = frame.toggle_state;
+  ck->adapt_state = frame.adapt_state;
+  ck->adapt_totals = frame.adapt_totals;
+  return ck;
 }
 
 CampaignOutcome AttackCampaign::reduce_outcome(

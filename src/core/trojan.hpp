@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/types.hpp"
 #include "core/trojan_config.hpp"
 #include "noc/inspector.hpp"
@@ -40,6 +41,13 @@ class HardwareTrojan final : public noc::PacketInspector {
     return attackers_;
   }
   [[nodiscard]] const TrojanStats& stats() const noexcept { return stats_; }
+
+  /// Checkpointing: the latched registers (manager id, agent ids,
+  /// activation/mode state, scale factors) and the counters. The host
+  /// router id is construction wiring; restore into a Trojan implanted at
+  /// the same router.
+  [[nodiscard]] json::Value save_state() const;
+  void load_state(const json::Value& v);
 
  private:
   [[nodiscard]] bool is_attacker(NodeId node) const noexcept {

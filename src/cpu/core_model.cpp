@@ -1,5 +1,10 @@
 #include "cpu/core_model.hpp"
 
+#include <array>
+#include <utility>
+
+#include "common/snapshot.hpp"
+
 namespace htpb::cpu {
 
 void CoreModel::tick(Cycle /*now*/) {
@@ -29,6 +34,38 @@ std::uint64_t CoreModel::next_address() {
     as_cursor_ = (as_cursor_ + 1) % as_lines_;
   }
   return as_base_ + as_cursor_;
+}
+
+json::Value CoreModel::save_state() const {
+  json::Object o;
+  o["level"] = json::Value(static_cast<long long>(level_));
+  o["duty"] = json::Value(duty_);
+  o["instructions"] = json::Value(instructions_);
+  o["access_accumulator"] = json::Value(access_accumulator_);
+  o["accesses_issued"] = common::ju64(accesses_issued_);
+  o["as_cursor"] = common::ju64(as_cursor_);
+  json::Array rng;
+  for (const std::uint64_t w : rng_.state()) rng.push_back(common::ju64(w));
+  o["rng"] = json::Value(std::move(rng));
+  o["mpi"] = json::Value(ipc_.mpi());
+  o["mem_latency_ns"] = json::Value(ipc_.mem_latency_ns());
+  return json::Value(std::move(o));
+}
+
+void CoreModel::load_state(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  level_ = static_cast<int>(o.find("level")->as_int());
+  duty_ = o.find("duty")->as_double();
+  instructions_ = o.find("instructions")->as_double();
+  access_accumulator_ = o.find("access_accumulator")->as_double();
+  accesses_issued_ = common::pu64(*o.find("accesses_issued"));
+  as_cursor_ = common::pu64(*o.find("as_cursor"));
+  const json::Array& rng = o.find("rng")->as_array();
+  std::array<std::uint64_t, 4> st{};
+  for (std::size_t i = 0; i < 4; ++i) st[i] = common::pu64(rng.at(i));
+  rng_.set_state(st);
+  ipc_.set_mpi(o.find("mpi")->as_double());
+  ipc_.set_mem_latency_ns(o.find("mem_latency_ns")->as_double());
 }
 
 }  // namespace htpb::cpu

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "cpu/frequency.hpp"
@@ -81,6 +82,13 @@ class CoreModel {
   [[nodiscard]] std::uint64_t accesses_issued() const noexcept {
     return accesses_issued_;
   }
+
+  /// Checkpointing: DVFS level, duty, retirement/access accumulators, the
+  /// address-stream cursor, the RNG stream and the IPC model's adaptive
+  /// latency estimate. Address-stream *parameters* are workload wiring and
+  /// are re-installed by construction, not captured.
+  [[nodiscard]] json::Value save_state() const;
+  void load_state(const json::Value& v);
 
  private:
   [[nodiscard]] std::uint64_t next_address();

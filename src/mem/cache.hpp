@@ -124,6 +124,14 @@ class SetAssocCache {
     return n;
   }
 
+  /// Checkpointing: raw slot access in storage order plus the LRU clock.
+  /// A restored cache must reproduce identical victim choices, so slot
+  /// positions and lru stamps are captured verbatim.
+  [[nodiscard]] const Line& line_at(std::size_t i) const { return lines_[i]; }
+  [[nodiscard]] Line& line_at(std::size_t i) { return lines_[i]; }
+  [[nodiscard]] std::uint64_t lru_clock() const noexcept { return clock_; }
+  void set_lru_clock(std::uint64_t c) noexcept { clock_ = c; }
+
  private:
   [[nodiscard]] std::size_t set_base(std::uint64_t addr) const noexcept {
     return static_cast<std::size_t>(addr & (sets_ - 1)) *

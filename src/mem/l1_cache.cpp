@@ -1,5 +1,10 @@
 #include "mem/l1_cache.hpp"
 
+#include <algorithm>
+#include <utility>
+
+#include "common/snapshot.hpp"
+
 namespace htpb::mem {
 
 void L1Cache::access(std::uint64_t line_addr, bool write) {
@@ -119,6 +124,88 @@ void L1Cache::handle_invalidate(const noc::Packet& pkt) {
   reply->src_app = core_ != nullptr ? core_->app() : kInvalidApp;
   if (dirty) ++stats_.writebacks;
   net_->send(std::move(reply));
+}
+
+json::Value L1Cache::save_state() const {
+  json::Object o;
+  json::Array lines;
+  for (std::size_t i = 0; i < cache_.capacity_lines(); ++i) {
+    const auto& line = cache_.line_at(i);
+    if (!line.valid) continue;
+    json::Array a;
+    a.push_back(common::ju64(i));
+    a.push_back(common::ju64(line.addr));
+    a.push_back(common::ju64(line.lru));
+    a.push_back(json::Value(static_cast<long long>(
+        static_cast<std::uint8_t>(line.data.state))));
+    a.push_back(json::Value(static_cast<long long>(line.data.gen)));
+    lines.push_back(json::Value(std::move(a)));
+  }
+  o["lines"] = json::Value(std::move(lines));
+  o["clock"] = common::ju64(cache_.lru_clock());
+  std::vector<std::uint64_t> addrs;
+  addrs.reserve(mshrs_.size());
+  for (const auto& [addr, mshr] : mshrs_) addrs.push_back(addr);
+  std::sort(addrs.begin(), addrs.end());
+  json::Array mshrs;
+  for (const std::uint64_t addr : addrs) {
+    const Mshr& m = mshrs_.at(addr);
+    json::Array a;
+    a.push_back(common::ju64(addr));
+    a.push_back(json::Value(m.write));
+    a.push_back(common::ju64(m.issued));
+    a.push_back(json::Value(m.inval_pending));
+    a.push_back(json::Value(static_cast<long long>(m.inval_gen)));
+    mshrs.push_back(json::Value(std::move(a)));
+  }
+  o["mshrs"] = json::Value(std::move(mshrs));
+  json::Object stats;
+  stats["hits"] = common::ju64(stats_.hits);
+  stats["misses"] = common::ju64(stats_.misses);
+  stats["upgrades"] = common::ju64(stats_.upgrades);
+  stats["writebacks"] = common::ju64(stats_.writebacks);
+  stats["invalidations"] = common::ju64(stats_.invalidations);
+  stats["mshr_coalesced"] = common::ju64(stats_.mshr_coalesced);
+  stats["mshr_full_drops"] = common::ju64(stats_.mshr_full_drops);
+  stats["replies"] = common::ju64(stats_.replies);
+  o["stats"] = json::Value(std::move(stats));
+  return json::Value(std::move(o));
+}
+
+void L1Cache::load_state(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  for (std::size_t i = 0; i < cache_.capacity_lines(); ++i) {
+    cache_.line_at(i) = SetAssocCache<LineData>::Line{};
+  }
+  for (const json::Value& lv : o.find("lines")->as_array()) {
+    const json::Array& a = lv.as_array();
+    auto& line = cache_.line_at(static_cast<std::size_t>(common::pu64(a.at(0))));
+    line.addr = common::pu64(a.at(1));
+    line.valid = true;
+    line.lru = common::pu64(a.at(2));
+    line.data.state = static_cast<MesiState>(a.at(3).as_int());
+    line.data.gen = static_cast<std::uint32_t>(a.at(4).as_int());
+  }
+  cache_.set_lru_clock(common::pu64(*o.find("clock")));
+  mshrs_.clear();
+  for (const json::Value& mv : o.find("mshrs")->as_array()) {
+    const json::Array& a = mv.as_array();
+    Mshr m;
+    m.write = a.at(1).as_bool();
+    m.issued = common::pu64(a.at(2));
+    m.inval_pending = a.at(3).as_bool();
+    m.inval_gen = static_cast<std::uint32_t>(a.at(4).as_int());
+    mshrs_.emplace(common::pu64(a.at(0)), m);
+  }
+  const json::Object& stats = o.find("stats")->as_object();
+  stats_.hits = common::pu64(*stats.find("hits"));
+  stats_.misses = common::pu64(*stats.find("misses"));
+  stats_.upgrades = common::pu64(*stats.find("upgrades"));
+  stats_.writebacks = common::pu64(*stats.find("writebacks"));
+  stats_.invalidations = common::pu64(*stats.find("invalidations"));
+  stats_.mshr_coalesced = common::pu64(*stats.find("mshr_coalesced"));
+  stats_.mshr_full_drops = common::pu64(*stats.find("mshr_full_drops"));
+  stats_.replies = common::pu64(*stats.find("replies"));
 }
 
 }  // namespace htpb::mem

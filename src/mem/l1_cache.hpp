@@ -55,6 +55,11 @@ class L1Cache {
     return mshrs_.size();
   }
 
+  /// Checkpointing: cache lines (slot order), LRU clock, MSHRs (sorted by
+  /// address) and stats. The network/core wiring is not captured.
+  [[nodiscard]] json::Value save_state() const;
+  void load_state(const json::Value& v);
+
  private:
   struct LineData {
     MesiState state = MesiState::kInvalid;

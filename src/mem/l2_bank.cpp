@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "common/snapshot.hpp"
 
 namespace htpb::mem {
 
@@ -62,7 +65,10 @@ void L2Bank::start_request(std::uint64_t addr, const Request& req) {
     txn.current = req;
     txn.fetching = true;
     busy_.emplace(addr, std::move(txn));
-    engine_->schedule_in(cfg_.mem_latency, [this, addr] { on_fetch_done(addr); });
+    engine_->schedule_desc_in(
+        cfg_.mem_latency,
+        sim::EventDesc{sim::EventKind::kMemFetchDone,
+                       static_cast<std::int32_t>(node_), addr, 0});
     return;
   }
   ++stats_.hits;
@@ -217,6 +223,121 @@ void L2Bank::send_invalidate(NodeId target, std::uint64_t addr,
                                gen);
   pkt->tag = addr;
   net_->send(std::move(pkt));
+}
+
+json::Value L2Bank::request_to_json(const Request& r) {
+  json::Array a;
+  a.push_back(json::Value(static_cast<long long>(r.requester)));
+  a.push_back(json::Value(r.write));
+  a.push_back(json::Value(static_cast<long long>(r.app)));
+  return json::Value(std::move(a));
+}
+
+L2Bank::Request L2Bank::request_from_json(const json::Value& v) {
+  const json::Array& a = v.as_array();
+  Request r;
+  r.requester = static_cast<NodeId>(a.at(0).as_int());
+  r.write = a.at(1).as_bool();
+  r.app = static_cast<AppId>(a.at(2).as_int());
+  return r;
+}
+
+json::Value L2Bank::save_state() const {
+  json::Object o;
+  json::Array lines;
+  for (std::size_t i = 0; i < cache_.capacity_lines(); ++i) {
+    const auto& line = cache_.line_at(i);
+    if (!line.valid) continue;
+    json::Object lo;
+    lo["slot"] = common::ju64(i);
+    lo["addr"] = common::ju64(line.addr);
+    lo["lru"] = common::ju64(line.lru);
+    lo["state"] = json::Value(static_cast<long long>(
+        static_cast<std::uint8_t>(line.data.state)));
+    lo["owner"] = json::Value(static_cast<long long>(line.data.owner));
+    json::Array sharers;
+    for (const NodeId s : line.data.sharers) {
+      sharers.push_back(json::Value(static_cast<long long>(s)));
+    }
+    lo["sharers"] = json::Value(std::move(sharers));
+    lo["gen"] = json::Value(static_cast<long long>(line.data.gen));
+    lines.push_back(json::Value(std::move(lo)));
+  }
+  o["lines"] = json::Value(std::move(lines));
+  o["clock"] = common::ju64(cache_.lru_clock());
+  std::vector<std::uint64_t> addrs;
+  addrs.reserve(busy_.size());
+  for (const auto& [addr, txn] : busy_) addrs.push_back(addr);
+  std::sort(addrs.begin(), addrs.end());
+  json::Array busy;
+  for (const std::uint64_t addr : addrs) {
+    const Txn& txn = busy_.at(addr);
+    json::Object to;
+    to["addr"] = common::ju64(addr);
+    to["current"] = request_to_json(txn.current);
+    to["acks_needed"] = json::Value(static_cast<long long>(txn.acks_needed));
+    to["fetching"] = json::Value(txn.fetching);
+    json::Array waiting;
+    for (const Request& w : txn.waiting) waiting.push_back(request_to_json(w));
+    to["waiting"] = json::Value(std::move(waiting));
+    busy.push_back(json::Value(std::move(to)));
+  }
+  o["busy"] = json::Value(std::move(busy));
+  json::Object stats;
+  stats["gets"] = common::ju64(stats_.gets);
+  stats["getm"] = common::ju64(stats_.getm);
+  stats["hits"] = common::ju64(stats_.hits);
+  stats["memory_fetches"] = common::ju64(stats_.memory_fetches);
+  stats["recalls"] = common::ju64(stats_.recalls);
+  stats["invalidations_sent"] = common::ju64(stats_.invalidations_sent);
+  stats["eviction_writebacks"] = common::ju64(stats_.eviction_writebacks);
+  stats["replies_sent"] = common::ju64(stats_.replies_sent);
+  o["stats"] = json::Value(std::move(stats));
+  return json::Value(std::move(o));
+}
+
+void L2Bank::load_state(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  for (std::size_t i = 0; i < cache_.capacity_lines(); ++i) {
+    cache_.line_at(i) = SetAssocCache<DirEntry>::Line{};
+  }
+  for (const json::Value& lv : o.find("lines")->as_array()) {
+    const json::Object& lo = lv.as_object();
+    auto& line = cache_.line_at(
+        static_cast<std::size_t>(common::pu64(*lo.find("slot"))));
+    line.addr = common::pu64(*lo.find("addr"));
+    line.valid = true;
+    line.lru = common::pu64(*lo.find("lru"));
+    line.data.state = static_cast<DirState>(lo.find("state")->as_int());
+    line.data.owner = static_cast<NodeId>(lo.find("owner")->as_int());
+    line.data.sharers.clear();
+    for (const json::Value& sv : lo.find("sharers")->as_array()) {
+      line.data.sharers.push_back(static_cast<NodeId>(sv.as_int()));
+    }
+    line.data.gen = static_cast<std::uint32_t>(lo.find("gen")->as_int());
+  }
+  cache_.set_lru_clock(common::pu64(*o.find("clock")));
+  busy_.clear();
+  for (const json::Value& tv : o.find("busy")->as_array()) {
+    const json::Object& to = tv.as_object();
+    Txn txn;
+    txn.current = request_from_json(*to.find("current"));
+    txn.acks_needed = static_cast<int>(to.find("acks_needed")->as_int());
+    txn.fetching = to.find("fetching")->as_bool();
+    for (const json::Value& wv : to.find("waiting")->as_array()) {
+      txn.waiting.push_back(request_from_json(wv));
+    }
+    busy_.emplace(common::pu64(*to.find("addr")), std::move(txn));
+  }
+  const json::Object& stats = o.find("stats")->as_object();
+  stats_.gets = common::pu64(*stats.find("gets"));
+  stats_.getm = common::pu64(*stats.find("getm"));
+  stats_.hits = common::pu64(*stats.find("hits"));
+  stats_.memory_fetches = common::pu64(*stats.find("memory_fetches"));
+  stats_.recalls = common::pu64(*stats.find("recalls"));
+  stats_.invalidations_sent = common::pu64(*stats.find("invalidations_sent"));
+  stats_.eviction_writebacks = common::pu64(*stats.find("eviction_writebacks"));
+  stats_.replies_sent = common::pu64(*stats.find("replies_sent"));
 }
 
 }  // namespace htpb::mem

@@ -41,7 +41,13 @@ class L2Bank {
   L2Bank(NodeId node, const L2Config& cfg, noc::MeshNetwork* net,
          sim::Engine* engine)
       : node_(node), cfg_(cfg), net_(net), engine_(engine),
-        cache_(cfg.sets, cfg.ways) {}
+        cache_(cfg.sets, cfg.ways) {
+    // Memory-fetch completions are scheduled as event descriptors so a
+    // checkpoint can capture them; the bank answers for its own node.
+    engine_->set_handler(
+        sim::EventKind::kMemFetchDone, static_cast<std::int32_t>(node_),
+        [this](const sim::EventDesc& d) { on_fetch_done(d.a); });
+  }
 
   /// Network-side input: kMemReadReq, kMemWriteReq, kWriteback, kCohAck.
   void on_packet(const noc::Packet& pkt);
@@ -49,6 +55,12 @@ class L2Bank {
   [[nodiscard]] const L2Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] NodeId node() const noexcept { return node_; }
   [[nodiscard]] std::size_t busy_lines() const noexcept { return busy_.size(); }
+
+  /// Checkpointing: directory lines (slot order), LRU clock, busy
+  /// transactions (sorted by address) and stats. Pending fetch-done events
+  /// live in the engine's queue, not here.
+  [[nodiscard]] json::Value save_state() const;
+  void load_state(const json::Value& v);
 
  private:
   enum class DirState : std::uint8_t { kShared, kModified };
@@ -89,6 +101,8 @@ class L2Bank {
   /// (now up-to-date) directory line, and drains the waiting queue.
   void serve_busy_line_current(std::uint64_t addr,
                                SetAssocCache<DirEntry>::Line& line);
+  static json::Value request_to_json(const Request& r);
+  static Request request_from_json(const json::Value& v);
   void send_reply(const Request& req, std::uint64_t addr, bool exclusive,
                   std::uint32_t gen);
   void send_invalidate(NodeId target, std::uint64_t addr,

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "common/snapshot.hpp"
 
 namespace htpb::noc {
 
@@ -40,6 +44,19 @@ MeshNetwork::MeshNetwork(sim::Engine& engine, MeshGeometry geom, NocConfig cfg)
   inject_active_.assign(static_cast<std::size_t>(n), 0);
   eject_active_.assign(static_cast<std::size_t>(n), 0);
   engine_.add_tickable(this);
+  // Loopback deliveries ride the serializable event path so a snapshot
+  // can capture them: the packet parks in pending_local_ and the event
+  // descriptor carries (node, packet id).
+  engine_.set_handler(
+      sim::EventKind::kNocLocalDeliver, -1, [this](const sim::EventDesc& d) {
+        const auto it = pending_local_.find(static_cast<PacketId>(d.a));
+        assert(it != pending_local_.end() && "loopback packet vanished");
+        PacketPtr pkt = std::move(it->second);
+        pending_local_.erase(it);
+        pkt->delivered = engine_.now();
+        record_delivery(*pkt);
+        nis_[static_cast<std::size_t>(d.node)]->deliver_local(*pkt);
+      });
 }
 
 PacketPtr MeshNetwork::make_packet(NodeId src, NodeId dst, PacketType type,
@@ -77,12 +94,10 @@ void MeshNetwork::send(PacketPtr pkt) {
   if (pkt->src == pkt->dst) {
     // Loopback: the tile's NI short-circuits the mesh with one cycle of
     // latency (local delivery never enters a router).
-    NetworkInterface* ni = nis_[pkt->src].get();
-    engine_.schedule_in(1, [this, ni, pkt] {
-      pkt->delivered = engine_.now();
-      record_delivery(*pkt);
-      ni->deliver_local(*pkt);
-    });
+    const sim::EventDesc desc{sim::EventKind::kNocLocalDeliver,
+                              static_cast<std::int32_t>(pkt->src), pkt->id, 0};
+    pending_local_.emplace(pkt->id, std::move(pkt));
+    engine_.schedule_desc_in(1, desc);
     return;
   }
   const NodeId src = pkt->src;
@@ -219,6 +234,12 @@ void MeshNetwork::tick(Cycle now) {
     router_active_[i] = 0;
     return true;
   });
+
+  // The staged sets were consumed by phases 4/5; leave them empty so the
+  // between-cycles invariant save_state checks actually holds at every
+  // cycle boundary (clear() keeps capacity, so this costs nothing).
+  transfers_.clear();
+  credits_.clear();
 }
 
 bool MeshNetwork::idle() const noexcept {
@@ -232,6 +253,128 @@ bool MeshNetwork::idle() const noexcept {
     if (nis_[i]->pending_injections() != 0) return false;
   }
   return true;
+}
+
+json::Value MeshNetwork::save_state() const {
+  if (!transfers_.empty() || !credits_.empty()) {
+    throw std::runtime_error(
+        "MeshNetwork::save_state: staged transfers pending; snapshots are "
+        "valid between cycles only");
+  }
+  json::Object o;
+
+  std::vector<const Packet*> live(pool_.live_packets().begin(),
+                                  pool_.live_packets().end());
+  std::sort(live.begin(), live.end(),
+            [](const Packet* a, const Packet* b) { return a->id < b->id; });
+  json::Array packets;
+  for (const Packet* p : live) packets.push_back(packet_to_json(*p));
+  o["packets"] = json::Value(std::move(packets));
+  o["next_packet_id"] = common::ju64(next_packet_id_);
+
+  json::Array routers;
+  for (const auto& r : routers_) routers.push_back(r->save_state());
+  o["routers"] = json::Value(std::move(routers));
+  json::Array nis;
+  for (const auto& ni : nis_) nis.push_back(ni->save_state());
+  o["nis"] = json::Value(std::move(nis));
+
+  json::Array pending_local;
+  for (const auto& [id, pkt] : pending_local_) {
+    pending_local.push_back(common::ju64(id));
+  }
+  o["pending_local"] = json::Value(std::move(pending_local));
+
+  const auto node_list = [](const std::vector<NodeId>& ids) {
+    json::Array a;
+    for (const NodeId i : ids) a.push_back(json::Value(static_cast<long long>(i)));
+    return json::Value(std::move(a));
+  };
+  o["active_routers"] = node_list(active_routers_);
+  o["active_inject"] = node_list(active_inject_);
+  o["active_eject"] = node_list(active_eject_);
+
+  json::Object stats;
+  stats["packets_sent"] = common::ju64(stats_.packets_sent);
+  stats["packets_delivered"] = common::ju64(stats_.packets_delivered);
+  stats["power_requests_delivered"] =
+      common::ju64(stats_.power_requests_delivered);
+  stats["tampered_power_requests_delivered"] =
+      common::ju64(stats_.tampered_power_requests_delivered);
+  stats["latency_all"] = common::stat_to_json(stats_.latency_all);
+  stats["latency_power_req"] = common::stat_to_json(stats_.latency_power_req);
+  stats["latency_mem"] = common::stat_to_json(stats_.latency_mem);
+  o["stats"] = json::Value(std::move(stats));
+  return json::Value(std::move(o));
+}
+
+void MeshNetwork::load_state(const json::Value& v) {
+  const json::Object& o = v.as_object();
+
+  // Fresh packets first: holders below resolve flit references through
+  // this map, and the refcount graph re-emerges from the holders alone.
+  // Old packets are released as each holder's load clears it.
+  std::unordered_map<PacketId, PacketPtr> restored;
+  for (const json::Value& pv : o.find("packets")->as_array()) {
+    PacketPtr p = pool_.allocate();
+    packet_from_json(*p, pv);
+    const PacketId id = p->id;
+    restored.emplace(id, std::move(p));
+  }
+  const PacketResolver resolve = [&restored](PacketId id) {
+    const auto it = restored.find(id);
+    if (it == restored.end()) {
+      throw std::runtime_error("MeshNetwork::load_state: unknown packet id " +
+                               std::to_string(id));
+    }
+    return it->second;
+  };
+  next_packet_id_ = static_cast<PacketId>(common::pu64(*o.find("next_packet_id")));
+
+  pending_local_.clear();
+  for (const json::Value& idv : o.find("pending_local")->as_array()) {
+    const auto id = static_cast<PacketId>(common::pu64(idv));
+    pending_local_.emplace(id, resolve(id));
+  }
+
+  const json::Array& routers = o.find("routers")->as_array();
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    routers_[i]->load_state(routers.at(i), resolve);
+  }
+  const json::Array& nis = o.find("nis")->as_array();
+  for (std::size_t i = 0; i < nis_.size(); ++i) {
+    nis_[i]->load_state(nis.at(i), resolve);
+  }
+
+  const auto load_set = [&](const char* key, std::vector<NodeId>& ids,
+                            std::vector<std::uint8_t>& flags) {
+    ids.clear();
+    std::fill(flags.begin(), flags.end(), 0);
+    for (const json::Value& iv : o.find(key)->as_array()) {
+      const auto id = static_cast<NodeId>(iv.as_int());
+      ids.push_back(id);
+      flags[id] = 1;
+    }
+  };
+  load_set("active_routers", active_routers_, router_active_);
+  load_set("active_inject", active_inject_, inject_active_);
+  load_set("active_eject", active_eject_, eject_active_);
+
+  transfers_.clear();
+  credits_.clear();
+  freed_vcs_.clear();
+
+  const json::Object& stats = o.find("stats")->as_object();
+  stats_.packets_sent = common::pu64(*stats.find("packets_sent"));
+  stats_.packets_delivered = common::pu64(*stats.find("packets_delivered"));
+  stats_.power_requests_delivered =
+      common::pu64(*stats.find("power_requests_delivered"));
+  stats_.tampered_power_requests_delivered =
+      common::pu64(*stats.find("tampered_power_requests_delivered"));
+  common::stat_from_json(stats_.latency_all, *stats.find("latency_all"));
+  common::stat_from_json(stats_.latency_power_req,
+                         *stats.find("latency_power_req"));
+  common::stat_from_json(stats_.latency_mem, *stats.find("latency_mem"));
 }
 
 RouterStats MeshNetwork::total_router_stats() const {

@@ -11,6 +11,7 @@
 // neighbour tables instead of re-deriving coordinates per transfer.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -88,6 +89,17 @@ class MeshNetwork : public sim::Tickable {
   /// The packet pool (observability: live handles / free-list depth).
   [[nodiscard]] const PacketPool& packet_pool() const noexcept { return pool_; }
 
+  /// Checkpointing: live packets (sorted by id), per-router and per-NI
+  /// state, pending loopback deliveries, active sets and stats. Valid
+  /// between cycles only -- save_state throws if the staged transfer or
+  /// credit vectors are non-empty (they are drained within each tick).
+  /// Wiring (neighbour tables, handlers, inspectors, port connectivity)
+  /// is construction state and is not captured; load_state releases every
+  /// currently held packet and rebuilds the ownership graph from the
+  /// saved holders.
+  [[nodiscard]] json::Value save_state() const;
+  void load_state(const json::Value& v);
+
  private:
   void record_delivery(const Packet& pkt);
 
@@ -130,6 +142,9 @@ class MeshNetwork : public sim::Tickable {
   std::vector<std::uint8_t> router_active_;
   std::vector<std::uint8_t> inject_active_;
   std::vector<std::uint8_t> eject_active_;
+  /// Loopback (src == dst) packets awaiting their kNocLocalDeliver event,
+  /// keyed by packet id. std::map: save order must be deterministic.
+  std::map<PacketId, PacketPtr> pending_local_;
   NetworkStats stats_;
   PacketId next_packet_id_ = 1;
 };

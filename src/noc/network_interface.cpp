@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "common/snapshot.hpp"
 
 namespace htpb::noc {
 
@@ -87,6 +90,89 @@ void NetworkInterface::tick_eject(Cycle now, std::vector<int>& freed_vcs) {
 void NetworkInterface::deliver_local(const Packet& pkt) {
   ++stats_.packets_delivered;
   if (handler_) handler_(pkt);
+}
+
+json::Value NetworkInterface::save_state() const {
+  json::Object o;
+  json::Array credits;
+  for (const int c : credits_) {
+    credits.push_back(json::Value(static_cast<long long>(c)));
+  }
+  o["credits"] = json::Value(std::move(credits));
+  o["rr_class"] = json::Value(static_cast<long long>(rr_class_));
+  json::Array classes;
+  for (const ClassState& cls : classes_) {
+    json::Object co;
+    json::Array queue;
+    for (std::size_t i = 0; i < cls.queue.size(); ++i) {
+      queue.push_back(common::ju64(cls.queue.at(i)->id));
+    }
+    co["queue"] = json::Value(std::move(queue));
+    json::Array flits;
+    for (const Flit& f : cls.flits) flits.push_back(flit_to_json(f));
+    co["flits"] = json::Value(std::move(flits));
+    co["cursor"] = json::Value(static_cast<long long>(cls.cursor));
+    co["vc"] = json::Value(static_cast<long long>(cls.vc));
+    co["rr_vc"] = json::Value(static_cast<long long>(cls.rr_vc));
+    classes.push_back(json::Value(std::move(co)));
+  }
+  o["classes"] = json::Value(std::move(classes));
+  json::Array eject;
+  for (std::size_t i = 0; i < eject_queue_.size(); ++i) {
+    const EjectedFlit& e = eject_queue_.at(i);
+    json::Array a;
+    a.push_back(flit_to_json(e.flit));
+    a.push_back(common::ju64(e.arrival));
+    eject.push_back(json::Value(std::move(a)));
+  }
+  o["eject"] = json::Value(std::move(eject));
+  json::Object stats;
+  stats["packets_injected"] = common::ju64(stats_.packets_injected);
+  stats["packets_delivered"] = common::ju64(stats_.packets_delivered);
+  stats["flits_injected"] = common::ju64(stats_.flits_injected);
+  stats["inject_queue_peak"] = common::ju64(stats_.inject_queue_peak);
+  o["stats"] = json::Value(std::move(stats));
+  return json::Value(std::move(o));
+}
+
+void NetworkInterface::load_state(const json::Value& v,
+                                  const PacketResolver& resolve) {
+  const json::Object& o = v.as_object();
+  const json::Array& credits = o.find("credits")->as_array();
+  credits_.assign(credits.size(), 0);
+  for (std::size_t i = 0; i < credits.size(); ++i) {
+    credits_[i] = static_cast<int>(credits[i].as_int());
+  }
+  rr_class_ = static_cast<int>(o.find("rr_class")->as_int());
+  const json::Array& classes = o.find("classes")->as_array();
+  for (int c = 0; c < 2; ++c) {
+    ClassState& cls = classes_[c];
+    const json::Object& co = classes.at(static_cast<std::size_t>(c)).as_object();
+    cls.queue.clear();
+    for (const json::Value& idv : co.find("queue")->as_array()) {
+      cls.queue.push_back(resolve(static_cast<PacketId>(common::pu64(idv))));
+    }
+    cls.flits.clear();
+    for (const json::Value& fv : co.find("flits")->as_array()) {
+      cls.flits.push_back(flit_from_json(fv, resolve));
+    }
+    cls.cursor = static_cast<std::size_t>(co.find("cursor")->as_int());
+    cls.vc = static_cast<int>(co.find("vc")->as_int());
+    cls.rr_vc = static_cast<int>(co.find("rr_vc")->as_int());
+  }
+  eject_queue_.clear();
+  for (const json::Value& ev : o.find("eject")->as_array()) {
+    const json::Array& a = ev.as_array();
+    EjectedFlit e;
+    e.flit = flit_from_json(a.at(0), resolve);
+    e.arrival = common::pu64(a.at(1));
+    eject_queue_.push_back(std::move(e));
+  }
+  const json::Object& stats = o.find("stats")->as_object();
+  stats_.packets_injected = common::pu64(*stats.find("packets_injected"));
+  stats_.packets_delivered = common::pu64(*stats.find("packets_delivered"));
+  stats_.flits_injected = common::pu64(*stats.find("flits_injected"));
+  stats_.inject_queue_peak = common::pu64(*stats.find("inject_queue_peak"));
 }
 
 }  // namespace htpb::noc

@@ -3,12 +3,12 @@
 // on ejection.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "common/types.hpp"
 #include "noc/config.hpp"
+#include "noc/flit_fifo.hpp"
 #include "noc/packet.hpp"
 
 namespace htpb::noc {
@@ -67,9 +67,15 @@ class NetworkInterface {
   }
   [[nodiscard]] const NiStats& stats() const noexcept { return stats_; }
 
+  /// Checkpointing: inject/eject queues (as packet-id references),
+  /// credits, round-robin pointers, stats. The delivery handler is wiring
+  /// and is not captured.
+  [[nodiscard]] json::Value save_state() const;
+  void load_state(const json::Value& v, const PacketResolver& resolve);
+
  private:
   struct ClassState {
-    std::deque<PacketPtr> queue;
+    DynRingFifo<PacketPtr> queue;
     std::vector<Flit> flits;    // flits of the in-flight packet (capacity
                                 // reused across packets via make_flits_into)
     std::size_t cursor = 0;     // next flit to inject
@@ -90,7 +96,7 @@ class NetworkInterface {
   std::vector<int> credits_;
   ClassState classes_[2];
   int rr_class_ = 0;
-  std::deque<EjectedFlit> eject_queue_;
+  DynRingFifo<EjectedFlit> eject_queue_;
   NiStats stats_;
 };
 

@@ -1,6 +1,9 @@
 #include "noc/packet.hpp"
 
 #include <sstream>
+#include <stdexcept>
+
+#include "common/snapshot.hpp"
 
 namespace htpb::noc {
 
@@ -36,6 +39,12 @@ void PacketPtr::dispose(Packet* p) noexcept {
   }
   --core->live;
   if (core->alive) {
+    // Swap-remove from the live table (O(1); order is not meaningful).
+    auto& live = core->live_list;
+    const std::uint32_t i = p->ctrl.live_index;
+    live[i] = live.back();
+    live[i]->ctrl.live_index = i;
+    live.pop_back();
     core->free.push_back(p);
   } else {
     // The pool is gone; the core sticks around until the last straggler
@@ -70,6 +79,7 @@ void reset_for_reuse(Packet& p) noexcept {
 
 PacketPool::~PacketPool() {
   core_->alive = false;
+  core_->live_list.clear();  // stragglers free themselves; drop the pointers
   for (Packet* p : core_->free) delete p;
   core_->free.clear();
   if (core_->live == 0) delete core_;
@@ -86,6 +96,8 @@ PacketPtr PacketPool::allocate() {
   }
   p->ctrl.pool = core_;
   p->ctrl.refs = 1;
+  p->ctrl.live_index = static_cast<std::uint32_t>(core_->live_list.size());
+  core_->live_list.push_back(p);
   ++core_->live;
   return PacketPtr::adopt(p);
 }
@@ -100,6 +112,76 @@ std::vector<Flit> make_flits(PacketPtr pkt) {
   std::vector<Flit> flits;
   make_flits_into(pkt, flits);
   return flits;
+}
+
+json::Value packet_to_json(const Packet& p) {
+  json::Object o;
+  o["id"] = common::ju64(p.id);
+  o["src"] = json::Value(static_cast<long long>(p.src));
+  o["dst"] = json::Value(static_cast<long long>(p.dst));
+  o["type"] =
+      json::Value(static_cast<long long>(static_cast<std::uint32_t>(p.type)));
+  o["payload"] = json::Value(static_cast<long long>(p.payload));
+  json::Array opts;
+  for (const std::uint32_t w : p.options) {
+    opts.push_back(json::Value(static_cast<long long>(w)));
+  }
+  o["options"] = json::Value(std::move(opts));
+  o["size_flits"] = json::Value(static_cast<long long>(p.size_flits));
+  o["tag"] = common::ju64(p.tag);
+  o["src_app"] = json::Value(static_cast<long long>(p.src_app));
+  o["birth"] = common::ju64(p.birth);
+  o["delivered"] = common::ju64(p.delivered);
+  o["tampered"] = json::Value(p.tampered);
+  o["boosted"] = json::Value(p.boosted);
+  o["original_payload"] =
+      json::Value(static_cast<long long>(p.original_payload));
+  return json::Value(std::move(o));
+}
+
+void packet_from_json(Packet& p, const json::Value& v) {
+  const json::Object& o = v.as_object();
+  p.id = static_cast<PacketId>(common::pu64(*o.find("id")));
+  p.src = static_cast<NodeId>(o.find("src")->as_int());
+  p.dst = static_cast<NodeId>(o.find("dst")->as_int());
+  p.type = static_cast<PacketType>(o.find("type")->as_int());
+  p.payload = static_cast<std::uint32_t>(o.find("payload")->as_int());
+  p.options.clear();
+  for (const json::Value& w : o.find("options")->as_array()) {
+    p.options.push_back(static_cast<std::uint32_t>(w.as_int()));
+  }
+  p.size_flits = static_cast<int>(o.find("size_flits")->as_int());
+  p.tag = common::pu64(*o.find("tag"));
+  p.src_app = static_cast<AppId>(o.find("src_app")->as_int());
+  p.birth = common::pu64(*o.find("birth"));
+  p.delivered = common::pu64(*o.find("delivered"));
+  p.tampered = o.find("tampered")->as_bool();
+  p.boosted = o.find("boosted")->as_bool();
+  p.original_payload =
+      static_cast<std::uint32_t>(o.find("original_payload")->as_int());
+}
+
+json::Value flit_to_json(const Flit& f) {
+  json::Array a;
+  a.push_back(common::ju64(f.pkt ? f.pkt->id : 0));
+  a.push_back(json::Value(static_cast<long long>(f.index)));
+  a.push_back(json::Value(static_cast<long long>(f.vc)));
+  return json::Value(std::move(a));
+}
+
+Flit flit_from_json(const json::Value& v, const PacketResolver& resolve) {
+  const json::Array& a = v.as_array();
+  Flit f;
+  f.pkt = resolve(static_cast<PacketId>(common::pu64(a.at(0))));
+  if (f.pkt == nullptr) {
+    throw std::runtime_error("flit_from_json: unresolved packet id");
+  }
+  f.index = static_cast<std::uint16_t>(a.at(1).as_int());
+  f.vc = static_cast<std::int8_t>(a.at(2).as_int());
+  const int n = f.pkt->size_flits < 1 ? 1 : f.pkt->size_flits;
+  f.is_head = f.index == 0;
+  f.is_tail = f.index == n - 1;
+  return f;
 }
 
 void make_flits_into(const PacketPtr& pkt, std::vector<Flit>& out) {

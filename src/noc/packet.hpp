@@ -17,10 +17,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/types.hpp"
 
 namespace htpb::noc {
@@ -75,6 +77,11 @@ namespace detail {
 /// never touch freed pool memory.
 struct PoolCore {
   std::vector<Packet*> free;
+  /// Every packet currently held by handles, unordered (swap-remove on
+  /// dispose; each packet stores its slot in ctrl.live_index). This is
+  /// the checkpoint layer's live-packet table: a snapshot enumerates it,
+  /// sorts by packet id, and writes every in-flight packet exactly once.
+  std::vector<Packet*> live_list;
   std::size_t live = 0;
   bool alive = true;
 };
@@ -84,6 +91,7 @@ struct PoolCore {
 /// clones the payload but never the identity, so the copy starts unowned.
 struct PacketControl {
   std::uint32_t refs = 0;
+  std::uint32_t live_index = 0;  ///< slot in the pool's live-packet table
   detail::PoolCore* pool = nullptr;
 
   PacketControl() noexcept = default;
@@ -201,6 +209,13 @@ class PacketPool {
     return core_->free.size();
   }
 
+  /// The live-packet table: every packet currently held by a handle, in
+  /// no particular order (checkpoint writers sort by id). Valid only
+  /// while the pool is alive.
+  [[nodiscard]] const std::vector<Packet*>& live_packets() const noexcept {
+    return core_->live_list;
+  }
+
  private:
   detail::PoolCore* core_;
 };
@@ -227,5 +242,27 @@ struct Flit {
 /// `make_flits` into a caller-owned buffer (cleared first) so a hot caller
 /// can reuse one vector's capacity for every packet it serializes.
 void make_flits_into(const PacketPtr& pkt, std::vector<Flit>& out);
+
+// ---------------------------------------------------------------------
+// Checkpointing (ARCHITECTURE.md §11). A snapshot stores every live
+// packet's value fields once (keyed by its stable id) and every flit as
+// an {id, index, vc} reference; restore allocates fresh packets, builds
+// an id -> handle map, and resolves flit references through it, so the
+// shared-ownership graph (and thus the refcounts) re-emerges from the
+// holders alone.
+// ---------------------------------------------------------------------
+
+/// Maps a saved packet id to the restored handle. Throws on unknown ids
+/// (a corrupt snapshot).
+using PacketResolver = std::function<PacketPtr(PacketId)>;
+
+/// Value fields only (id through original_payload); ctrl is ownership
+/// bookkeeping and never serialized.
+[[nodiscard]] json::Value packet_to_json(const Packet& p);
+void packet_from_json(Packet& p, const json::Value& v);
+
+[[nodiscard]] json::Value flit_to_json(const Flit& f);
+[[nodiscard]] Flit flit_from_json(const json::Value& v,
+                                  const PacketResolver& resolve);
 
 }  // namespace htpb::noc

@@ -2,8 +2,38 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <utility>
+
+#include "common/snapshot.hpp"
 
 namespace htpb::noc {
+
+namespace {
+
+json::Value router_stats_to_json(const RouterStats& s) {
+  json::Object o;
+  o["flits_forwarded"] = common::ju64(s.flits_forwarded);
+  o["packets_routed"] = common::ju64(s.packets_routed);
+  o["power_requests_seen"] = common::ju64(s.power_requests_seen);
+  o["flits_ejected"] = common::ju64(s.flits_ejected);
+  o["sa_conflict_stalls"] = common::ju64(s.sa_conflict_stalls);
+  o["va_stalls"] = common::ju64(s.va_stalls);
+  return json::Value(std::move(o));
+}
+
+RouterStats router_stats_from_json(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  RouterStats s;
+  s.flits_forwarded = common::pu64(*o.find("flits_forwarded"));
+  s.packets_routed = common::pu64(*o.find("packets_routed"));
+  s.power_requests_seen = common::pu64(*o.find("power_requests_seen"));
+  s.flits_ejected = common::pu64(*o.find("flits_ejected"));
+  s.sa_conflict_stalls = common::pu64(*o.find("sa_conflict_stalls"));
+  s.va_stalls = common::pu64(*o.find("va_stalls"));
+  return s;
+}
+
+}  // namespace
 
 Router::Router(NodeId id, const MeshGeometry& geom, const NocConfig& cfg,
                const RoutingAlgorithm* routing)
@@ -146,6 +176,130 @@ void Router::tick_sa_st(Cycle now, std::vector<LinkTransfer>& transfers,
       break;  // one flit per output port per cycle
     }
   }
+}
+
+json::Value Router::save_state() const {
+  json::Object o;
+  json::Array in_ports;
+  for (int pi = 0; pi < kNumPorts; ++pi) {
+    const InputPort& port = in_[static_cast<std::size_t>(pi)];
+    json::Object po;
+    json::Array vcs;
+    for (int vi = 0; vi < cfg_.vcs; ++vi) {
+      const InputVc& ivc = port.vcs[static_cast<std::size_t>(vi)];
+      json::Object vo;
+      json::Array fifo;
+      for (int i = 0; i < ivc.fifo.size(); ++i) {
+        const BufferedFlit& bf = ivc.fifo.at(i);
+        json::Array e;
+        e.push_back(flit_to_json(bf.flit));
+        e.push_back(common::ju64(bf.arrival));
+        e.push_back(json::Value(bf.inspected));
+        fifo.push_back(json::Value(std::move(e)));
+      }
+      vo["fifo"] = json::Value(std::move(fifo));
+      vo["active"] = json::Value(ivc.active);
+      vo["out_port"] = json::Value(static_cast<long long>(ivc.out_port));
+      vo["out_vc"] = json::Value(static_cast<long long>(ivc.out_vc));
+      vo["alloc_cycle"] = common::ju64(ivc.alloc_cycle);
+      vcs.push_back(json::Value(std::move(vo)));
+    }
+    po["vcs"] = json::Value(std::move(vcs));
+    po["rc_pending"] = json::Value(static_cast<long long>(port.rc_pending));
+    in_ports.push_back(json::Value(std::move(po)));
+  }
+  o["in"] = json::Value(std::move(in_ports));
+
+  json::Array out_ports;
+  for (int pi = 0; pi < kNumPorts; ++pi) {
+    const OutputPort& port = out_[static_cast<std::size_t>(pi)];
+    json::Object po;
+    json::Array vcs;
+    for (int vi = 0; vi < cfg_.vcs; ++vi) {
+      const OutputVc& ovc = port.vcs[static_cast<std::size_t>(vi)];
+      json::Array e;
+      e.push_back(json::Value(static_cast<long long>(ovc.credits)));
+      e.push_back(json::Value(ovc.allocated));
+      vcs.push_back(json::Value(std::move(e)));
+    }
+    po["vcs"] = json::Value(std::move(vcs));
+    po["rr_candidate"] = json::Value(static_cast<long long>(port.rr_candidate));
+    po["rr_vc"] = json::Value(static_cast<long long>(port.rr_vc));
+    json::Array routed;
+    for (int i = 0; i < port.active_inputs; ++i) {
+      const SaCandidate& sc = port.routed[static_cast<std::size_t>(i)];
+      json::Array e;
+      e.push_back(json::Value(static_cast<long long>(sc.cand)));
+      e.push_back(json::Value(static_cast<long long>(sc.in_port)));
+      e.push_back(json::Value(static_cast<long long>(sc.in_vc)));
+      routed.push_back(json::Value(std::move(e)));
+    }
+    po["routed"] = json::Value(std::move(routed));
+    out_ports.push_back(json::Value(std::move(po)));
+  }
+  o["out"] = json::Value(std::move(out_ports));
+  o["stats"] = router_stats_to_json(stats_);
+  return json::Value(std::move(o));
+}
+
+void Router::load_state(const json::Value& v, const PacketResolver& resolve) {
+  const json::Object& o = v.as_object();
+  buffered_flits_ = 0;
+  rc_pending_total_ = 0;
+
+  const json::Array& in_ports = o.find("in")->as_array();
+  for (int pi = 0; pi < kNumPorts; ++pi) {
+    InputPort& port = in_[static_cast<std::size_t>(pi)];
+    const json::Object& po = in_ports.at(static_cast<std::size_t>(pi)).as_object();
+    const json::Array& vcs = po.find("vcs")->as_array();
+    for (int vi = 0; vi < cfg_.vcs; ++vi) {
+      InputVc& ivc = port.vcs[static_cast<std::size_t>(vi)];
+      const json::Object& vo = vcs.at(static_cast<std::size_t>(vi)).as_object();
+      ivc.fifo.clear();
+      for (const json::Value& ev : vo.find("fifo")->as_array()) {
+        const json::Array& e = ev.as_array();
+        BufferedFlit bf;
+        bf.flit = flit_from_json(e.at(0), resolve);
+        bf.arrival = common::pu64(e.at(1));
+        bf.inspected = e.at(2).as_bool();
+        ivc.fifo.push_back(std::move(bf));
+        ++buffered_flits_;
+      }
+      ivc.active = vo.find("active")->as_bool();
+      ivc.out_port = static_cast<Direction>(vo.find("out_port")->as_int());
+      ivc.out_vc = static_cast<int>(vo.find("out_vc")->as_int());
+      ivc.alloc_cycle = common::pu64(*vo.find("alloc_cycle"));
+    }
+    port.rc_pending = static_cast<int>(po.find("rc_pending")->as_int());
+    rc_pending_total_ += port.rc_pending;
+  }
+
+  const json::Array& out_ports = o.find("out")->as_array();
+  for (int pi = 0; pi < kNumPorts; ++pi) {
+    OutputPort& port = out_[static_cast<std::size_t>(pi)];
+    const json::Object& po =
+        out_ports.at(static_cast<std::size_t>(pi)).as_object();
+    const json::Array& vcs = po.find("vcs")->as_array();
+    for (int vi = 0; vi < cfg_.vcs; ++vi) {
+      OutputVc& ovc = port.vcs[static_cast<std::size_t>(vi)];
+      const json::Array& e = vcs.at(static_cast<std::size_t>(vi)).as_array();
+      ovc.credits = static_cast<int>(e.at(0).as_int());
+      ovc.allocated = e.at(1).as_bool();
+    }
+    port.rr_candidate = static_cast<int>(po.find("rr_candidate")->as_int());
+    port.rr_vc = static_cast<int>(po.find("rr_vc")->as_int());
+    const json::Array& routed = po.find("routed")->as_array();
+    port.active_inputs = static_cast<int>(routed.size());
+    port.routed = {};
+    for (std::size_t i = 0; i < routed.size(); ++i) {
+      const json::Array& e = routed[i].as_array();
+      port.routed[i] = SaCandidate{
+          static_cast<std::uint8_t>(e.at(0).as_int()),
+          static_cast<std::uint8_t>(e.at(1).as_int()),
+          static_cast<std::uint8_t>(e.at(2).as_int())};
+    }
+  }
+  stats_ = router_stats_from_json(*o.find("stats"));
 }
 
 void Router::run_inspectors(Packet& pkt, Cycle now) {

@@ -123,6 +123,13 @@ class Router {
   [[nodiscard]] const RouterStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = RouterStats{}; }
 
+  /// Checkpointing: everything that changes while flits move -- input-VC
+  /// ring buffers, routing/allocation registers, output credits,
+  /// round-robin pointers, stats. Wiring (connected ports, the routing
+  /// algorithm, inspectors) is construction state and is not captured.
+  [[nodiscard]] json::Value save_state() const;
+  void load_state(const json::Value& v, const PacketResolver& resolve);
+
  private:
   struct BufferedFlit {
     Flit flit;

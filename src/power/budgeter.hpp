@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/types.hpp"
 
 namespace htpb::power {
@@ -68,6 +69,11 @@ class Budgeter {
       std::uint32_t floor_mw) const = 0;
 
   [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Checkpointing: the stock allocators are stateless and return null /
+  /// ignore loads; stateful wrappers (GuardedBudgeter) override both.
+  [[nodiscard]] virtual json::Value save_state() const { return json::Value(); }
+  virtual void load_state(const json::Value& /*v*/) {}
 };
 
 /// Equal shares, capped at the request; leftovers redistributed.

@@ -1,8 +1,69 @@
 #include "power/defense.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/snapshot.hpp"
 
 namespace htpb::power {
+
+namespace {
+
+json::Value flags_to_json(int low_streak, int high_streak, bool reported_low,
+                          bool reported_high) {
+  json::Array a;
+  a.push_back(json::Value(static_cast<long long>(low_streak)));
+  a.push_back(json::Value(static_cast<long long>(high_streak)));
+  a.push_back(json::Value(reported_low));
+  a.push_back(json::Value(reported_high));
+  return json::Value(std::move(a));
+}
+
+/// Sorted key list of an unordered node-keyed map (deterministic dumps).
+template <typename Map>
+std::vector<NodeId> sorted_nodes(const Map& m) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(m.size());
+  for (const auto& [node, value] : m) nodes.push_back(node);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+}  // namespace
+
+json::Value detector_report_to_json(const DetectorReport& r) {
+  json::Object o;
+  json::Array low;
+  for (const NodeId n : r.flagged_low) {
+    low.push_back(json::Value(static_cast<long long>(n)));
+  }
+  o["flagged_low"] = json::Value(std::move(low));
+  json::Array high;
+  for (const NodeId n : r.flagged_high) {
+    high.push_back(json::Value(static_cast<long long>(n)));
+  }
+  o["flagged_high"] = json::Value(std::move(high));
+  o["observations"] = common::ju64(r.observations);
+  o["epochs_observed"] = common::ju64(r.epochs_observed);
+  o["first_flag_epoch"] =
+      json::Value(static_cast<long long>(r.first_flag_epoch));
+  return json::Value(std::move(o));
+}
+
+DetectorReport detector_report_from_json(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  DetectorReport r;
+  for (const json::Value& n : o.find("flagged_low")->as_array()) {
+    r.flagged_low.push_back(static_cast<NodeId>(n.as_int()));
+  }
+  for (const json::Value& n : o.find("flagged_high")->as_array()) {
+    r.flagged_high.push_back(static_cast<NodeId>(n.as_int()));
+  }
+  r.observations = common::pu64(*o.find("observations"));
+  r.epochs_observed = common::pu64(*o.find("epochs_observed"));
+  r.first_flag_epoch = static_cast<int>(o.find("first_flag_epoch")->as_int());
+  return r;
+}
 
 std::size_t DetectorReport::unique_flagged() const {
   std::vector<NodeId> all;
@@ -194,6 +255,102 @@ std::vector<BudgetGrant> GuardedBudgeter::allocate(
 void GuardedBudgeter::reset() {
   history_.clear();
   samples_.clear();
+}
+
+json::Value RequestAnomalyDetector::save_state() const {
+  json::Object o;
+  o["cumulative"] = detector_report_to_json(cumulative_);
+  json::Array state;
+  for (const NodeId node : sorted_nodes(state_)) {
+    const PerCore& pc = state_.at(node);
+    json::Array a;
+    a.push_back(json::Value(static_cast<long long>(node)));
+    a.push_back(json::Value(pc.history));
+    a.push_back(json::Value(static_cast<long long>(pc.samples_seen)));
+    a.push_back(flags_to_json(pc.flags.low_streak, pc.flags.high_streak,
+                              pc.flags.reported_low, pc.flags.reported_high));
+    state.push_back(json::Value(std::move(a)));
+  }
+  o["state"] = json::Value(std::move(state));
+  return json::Value(std::move(o));
+}
+
+void RequestAnomalyDetector::load_state(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  cumulative_ = detector_report_from_json(*o.find("cumulative"));
+  state_.clear();
+  for (const json::Value& sv : o.find("state")->as_array()) {
+    const json::Array& a = sv.as_array();
+    PerCore pc;
+    pc.history = a.at(1).as_double();
+    pc.samples_seen = static_cast<int>(a.at(2).as_int());
+    const json::Array& f = a.at(3).as_array();
+    pc.flags.low_streak = static_cast<int>(f.at(0).as_int());
+    pc.flags.high_streak = static_cast<int>(f.at(1).as_int());
+    pc.flags.reported_low = f.at(2).as_bool();
+    pc.flags.reported_high = f.at(3).as_bool();
+    state_.emplace(static_cast<NodeId>(a.at(0).as_int()), pc);
+  }
+}
+
+json::Value CohortMedianDetector::save_state() const {
+  json::Object o;
+  o["cumulative"] = detector_report_to_json(cumulative_);
+  json::Array state;
+  for (const NodeId node : sorted_nodes(state_)) {
+    const FlagState& fs = state_.at(node);
+    json::Array a;
+    a.push_back(json::Value(static_cast<long long>(node)));
+    a.push_back(flags_to_json(fs.low_streak, fs.high_streak, fs.reported_low,
+                              fs.reported_high));
+    state.push_back(json::Value(std::move(a)));
+  }
+  o["state"] = json::Value(std::move(state));
+  return json::Value(std::move(o));
+}
+
+void CohortMedianDetector::load_state(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  cumulative_ = detector_report_from_json(*o.find("cumulative"));
+  state_.clear();
+  for (const json::Value& sv : o.find("state")->as_array()) {
+    const json::Array& a = sv.as_array();
+    FlagState fs;
+    const json::Array& f = a.at(1).as_array();
+    fs.low_streak = static_cast<int>(f.at(0).as_int());
+    fs.high_streak = static_cast<int>(f.at(1).as_int());
+    fs.reported_low = f.at(2).as_bool();
+    fs.reported_high = f.at(3).as_bool();
+    state_.emplace(static_cast<NodeId>(a.at(0).as_int()), fs);
+  }
+}
+
+json::Value GuardedBudgeter::save_state() const {
+  json::Object o;
+  json::Array state;
+  for (const NodeId node : sorted_nodes(history_)) {
+    json::Array a;
+    a.push_back(json::Value(static_cast<long long>(node)));
+    a.push_back(json::Value(history_.at(node)));
+    const auto it = samples_.find(node);
+    a.push_back(json::Value(
+        static_cast<long long>(it == samples_.end() ? 0 : it->second)));
+    state.push_back(json::Value(std::move(a)));
+  }
+  o["state"] = json::Value(std::move(state));
+  return json::Value(std::move(o));
+}
+
+void GuardedBudgeter::load_state(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  history_.clear();
+  samples_.clear();
+  for (const json::Value& sv : o.find("state")->as_array()) {
+    const json::Array& a = sv.as_array();
+    const auto node = static_cast<NodeId>(a.at(0).as_int());
+    history_[node] = a.at(1).as_double();
+    samples_[node] = static_cast<int>(a.at(2).as_int());
+  }
 }
 
 }  // namespace htpb::power

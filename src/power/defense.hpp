@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/types.hpp"
 #include "power/budgeter.hpp"
 
@@ -101,6 +102,11 @@ struct DetectorReport {
                          const DetectorReport&) = default;
 };
 
+/// Checkpoint helpers for DetectorReport (see common/snapshot.hpp for the
+/// u64-as-string convention).
+[[nodiscard]] json::Value detector_report_to_json(const DetectorReport& r);
+[[nodiscard]] DetectorReport detector_report_from_json(const json::Value& v);
+
 /// Self-history detector (DetectorKind::kSelfEwma) and the base class of
 /// every manager-side detector.
 ///
@@ -157,6 +163,12 @@ class RequestAnomalyDetector {
     return it == state_.end() ? 0.0 : it->second.history;
   }
 
+  /// Checkpointing: per-core histories/streaks (sorted by node) and the
+  /// cumulative report. The configuration is construction state and is
+  /// not captured; load into a detector built from the same config.
+  [[nodiscard]] virtual json::Value save_state() const;
+  virtual void load_state(const json::Value& v);
+
  protected:
   /// Shared bookkeeping for subclasses: streak/report-once flag logic
   /// writing into `cumulative_` and the per-epoch `newly` report.
@@ -212,6 +224,9 @@ class CohortMedianDetector final : public RequestAnomalyDetector {
   /// Cohort judgment needs no per-core warmup.
   [[nodiscard]] std::size_t unarmed_cores() const override { return 0; }
 
+  [[nodiscard]] json::Value save_state() const override;
+  void load_state(const json::Value& v) override;
+
  private:
   std::unordered_map<NodeId, FlagState> state_;
 };
@@ -255,6 +270,11 @@ class GuardedBudgeter final : public Budgeter {
   [[nodiscard]] const char* name() const noexcept override {
     return "guarded";
   }
+
+  /// Checkpointing: the per-core trust band (sorted by node). The guard's
+  /// history drives allocation, so it is part of the system snapshot.
+  [[nodiscard]] json::Value save_state() const override;
+  void load_state(const json::Value& v) override;
 
  private:
   std::unique_ptr<Budgeter> inner_;

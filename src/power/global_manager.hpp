@@ -4,12 +4,15 @@
 // vulnerability), and replies with POWER_GRANT packets.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 #include "noc/network.hpp"
 #include "power/budgeter.hpp"
@@ -44,7 +47,38 @@ struct EpochRecord {
                : static_cast<double>(tampered_received) /
                      static_cast<double>(victim_requests);
   }
+
+  friend bool operator==(const EpochRecord&, const EpochRecord&) = default;
 };
+
+/// Checkpoint helpers for EpochRecord (u64s as decimal strings; see
+/// common/snapshot.hpp).
+inline json::Value epoch_record_to_json(const EpochRecord& r) {
+  json::Array a;
+  a.push_back(common::ju64(r.epoch_start));
+  a.push_back(common::ju64(r.allocate_cycle));
+  a.push_back(common::ju64(r.requests_received));
+  a.push_back(common::ju64(r.tampered_received));
+  a.push_back(common::ju64(r.victim_requests));
+  a.push_back(common::ju64(r.budget_mw));
+  a.push_back(common::ju64(r.granted_mw));
+  a.push_back(common::ju64(r.victim_granted_mw));
+  return json::Value(std::move(a));
+}
+
+inline EpochRecord epoch_record_from_json(const json::Value& v) {
+  const json::Array& a = v.as_array();
+  EpochRecord r;
+  r.epoch_start = common::pu64(a.at(0));
+  r.allocate_cycle = common::pu64(a.at(1));
+  r.requests_received = common::pu64(a.at(2));
+  r.tampered_received = common::pu64(a.at(3));
+  r.victim_requests = common::pu64(a.at(4));
+  r.budget_mw = common::pu64(a.at(5));
+  r.granted_mw = common::pu64(a.at(6));
+  r.victim_granted_mw = common::pu64(a.at(7));
+  return r;
+}
 
 class GlobalManager {
  public:
@@ -190,6 +224,65 @@ class GlobalManager {
     return history_;
   }
   [[nodiscard]] const Budgeter& budgeter() const noexcept { return *budgeter_; }
+
+  /// Checkpointing: the collection window (pending requests in arrival
+  /// order, victim set, current record), epoch history, budget and the
+  /// budgeter's own state (GuardedBudgeter trust bands). The attached
+  /// detector/recorder/response pointers are wiring and are not captured;
+  /// their state is owned and checkpointed by the campaign layer.
+  [[nodiscard]] json::Value save_state() const {
+    json::Object o;
+    o["budget_mw"] = common::ju64(budget_mw_);
+    o["collecting"] = json::Value(collecting_);
+    json::Array pending;
+    for (const BudgetRequest& r : pending_) {
+      json::Array a;
+      a.push_back(json::Value(static_cast<long long>(r.node)));
+      a.push_back(json::Value(static_cast<long long>(r.app)));
+      a.push_back(json::Value(static_cast<long long>(r.request_mw)));
+      pending.push_back(json::Value(std::move(a)));
+    }
+    o["pending"] = json::Value(std::move(pending));
+    std::vector<NodeId> victims(victim_nodes_.begin(), victim_nodes_.end());
+    std::sort(victims.begin(), victims.end());
+    json::Array victim_nodes;
+    for (const NodeId n : victims) {
+      victim_nodes.push_back(json::Value(static_cast<long long>(n)));
+    }
+    o["victim_nodes"] = json::Value(std::move(victim_nodes));
+    o["current"] = epoch_record_to_json(current_);
+    json::Array history;
+    for (const EpochRecord& r : history_) {
+      history.push_back(epoch_record_to_json(r));
+    }
+    o["history"] = json::Value(std::move(history));
+    o["budgeter"] = budgeter_->save_state();
+    return json::Value(std::move(o));
+  }
+
+  void load_state(const json::Value& v) {
+    const json::Object& o = v.as_object();
+    budget_mw_ = common::pu64(*o.find("budget_mw"));
+    collecting_ = o.find("collecting")->as_bool();
+    pending_.clear();
+    for (const json::Value& rv : o.find("pending")->as_array()) {
+      const json::Array& a = rv.as_array();
+      pending_.push_back(BudgetRequest{
+          static_cast<NodeId>(a.at(0).as_int()),
+          static_cast<AppId>(a.at(1).as_int()),
+          static_cast<std::uint32_t>(a.at(2).as_int())});
+    }
+    victim_nodes_.clear();
+    for (const json::Value& n : o.find("victim_nodes")->as_array()) {
+      victim_nodes_.insert(static_cast<NodeId>(n.as_int()));
+    }
+    current_ = epoch_record_from_json(*o.find("current"));
+    history_.clear();
+    for (const json::Value& rv : o.find("history")->as_array()) {
+      history_.push_back(epoch_record_from_json(rv));
+    }
+    budgeter_->load_state(*o.find("budgeter"));
+  }
 
   /// Mean infection rate over the recorded epochs, skipping `warmup`.
   [[nodiscard]] double mean_infection_rate(std::size_t warmup = 0) const {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "common/snapshot.hpp"
 
 namespace htpb::power {
 
@@ -74,6 +77,50 @@ void ResponseEngine::end_epoch() {
     ++stats_.sanction_core_epochs;
   }
   ++epoch_;
+}
+
+json::Value ResponseEngine::save_state() const {
+  json::Object o;
+  json::Array active;
+  for (const auto& [node, remaining] : active_) {
+    json::Array a;
+    a.push_back(json::Value(static_cast<long long>(node)));
+    a.push_back(json::Value(static_cast<long long>(remaining)));
+    active.push_back(json::Value(std::move(a)));
+  }
+  o["active"] = json::Value(std::move(active));
+  json::Array cores;
+  for (const NodeId n : stats_.sanctioned_cores) {
+    cores.push_back(json::Value(static_cast<long long>(n)));
+  }
+  o["sanctioned_cores"] = json::Value(std::move(cores));
+  o["sanction_core_epochs"] = common::ju64(stats_.sanction_core_epochs);
+  o["denied_requests"] = common::ju64(stats_.denied_requests);
+  o["clamped_requests"] = common::ju64(stats_.clamped_requests);
+  o["first_sanction_epoch"] =
+      json::Value(static_cast<long long>(stats_.first_sanction_epoch));
+  o["epoch"] = json::Value(static_cast<long long>(epoch_));
+  return json::Value(std::move(o));
+}
+
+void ResponseEngine::load_state(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  active_.clear();
+  for (const json::Value& av : o.find("active")->as_array()) {
+    const json::Array& a = av.as_array();
+    active_[static_cast<NodeId>(a.at(0).as_int())] =
+        static_cast<int>(a.at(1).as_int());
+  }
+  stats_ = ResponseStats{};
+  for (const json::Value& n : o.find("sanctioned_cores")->as_array()) {
+    stats_.sanctioned_cores.push_back(static_cast<NodeId>(n.as_int()));
+  }
+  stats_.sanction_core_epochs = common::pu64(*o.find("sanction_core_epochs"));
+  stats_.denied_requests = common::pu64(*o.find("denied_requests"));
+  stats_.clamped_requests = common::pu64(*o.find("clamped_requests"));
+  stats_.first_sanction_epoch =
+      static_cast<int>(o.find("first_sanction_epoch")->as_int());
+  epoch_ = static_cast<int>(o.find("epoch")->as_int());
 }
 
 }  // namespace htpb::power

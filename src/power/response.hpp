@@ -37,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/types.hpp"
 #include "power/defense.hpp"
 
@@ -134,6 +135,11 @@ class ResponseEngine {
   /// Counter hooks for the manager's filtering path.
   void count_denied() noexcept { ++stats_.denied_requests; }
   void count_clamped() noexcept { ++stats_.clamped_requests; }
+
+  /// Checkpointing: active sanctions, stats and the epoch counter. The
+  /// configuration and the detector pointer are construction wiring.
+  [[nodiscard]] json::Value save_state() const;
+  void load_state(const json::Value& v);
 
  private:
   void sanction(NodeId node);

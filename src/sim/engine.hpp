@@ -1,10 +1,21 @@
 // Hybrid simulation engine: clocked components (routers, cores) register
 // as Tickables and are ticked every cycle; sparse future work (memory
 // latencies, epoch timers) goes through the event queue.
+//
+// Checkpointing: components schedule serializable events (EventDesc) and
+// register a handler per (kind, node); save_state() captures the clock
+// and the pending descriptors, load_state() restores them against the
+// handlers currently registered. Closure events (schedule_in/at with a
+// bare lambda) still work for throwaway drivers but make the engine
+// unsnapshottable -- save_state() throws if one is pending.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/types.hpp"
 #include "sim/event_queue.hpp"
 
@@ -26,6 +37,8 @@ class Tickable {
 /// reproducibility claims rest on).
 class Engine {
  public:
+  using EventHandler = std::function<void(const EventDesc&)>;
+
   /// Current simulated cycle (the cycle being executed during a tick).
   [[nodiscard]] Cycle now() const noexcept { return now_; }
 
@@ -44,6 +57,22 @@ class Engine {
     events_.schedule(when < now_ ? now_ : when, std::move(fn));
   }
 
+  /// Registers the handler fired for descriptor events matching `kind`
+  /// and `node` (node -1 registers a kind-wide wildcard, matched when no
+  /// exact (kind, node) entry exists). Re-registering replaces.
+  void set_handler(EventKind kind, std::int32_t node, EventHandler fn);
+
+  /// Schedules a serializable event. Requires a matching handler at
+  /// *execution* time, not at scheduling time.
+  void schedule_desc_in(Cycle delay, const EventDesc& desc) {
+    schedule_desc_at(now_ + delay, desc);
+  }
+  void schedule_desc_at(Cycle when, const EventDesc& desc);
+
+  /// Resolves and fires the handler for `desc`; throws std::runtime_error
+  /// when none is registered (a wiring bug, not a data error).
+  void dispatch(const EventDesc& desc);
+
   /// Advances the simulation by `cycles` cycles. Each cycle: run all events
   /// due at the current time, then tick every registered component.
   void run_cycles(Cycle cycles);
@@ -56,12 +85,29 @@ class Engine {
     return events_.size();
   }
 
+  /// {"now": u64-string, "events": [[when, kind, node, a, b], ...]} with
+  /// events in firing order. Throws if a closure-only event is pending.
+  [[nodiscard]] json::Value save_state() const;
+
+  /// Restores the clock and re-schedules the saved descriptor events (in
+  /// saved order, so the same-cycle FIFO tie-break is preserved) against
+  /// the currently registered handlers. Tickables and handlers are wiring
+  /// and are untouched.
+  void load_state(const json::Value& v);
+
  private:
   void step_one_cycle();
+
+  [[nodiscard]] static std::uint64_t handler_key(EventKind kind,
+                                                 std::int32_t node) noexcept {
+    return (static_cast<std::uint64_t>(kind) << 32) |
+           static_cast<std::uint32_t>(node);
+  }
 
   Cycle now_ = 0;
   EventQueue events_;
   std::vector<Tickable*> tickables_;
+  std::map<std::uint64_t, EventHandler> handlers_;
 };
 
 }  // namespace htpb::sim

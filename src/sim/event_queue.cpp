@@ -1,24 +1,33 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace htpb::sim {
 
+void EventQueue::push(Event ev) {
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
 void EventQueue::schedule(Cycle when, EventFn fn) {
-  heap_.push(Event{when, next_seq_++, std::move(fn)});
+  push(Event{when, next_seq_++, std::move(fn), std::nullopt});
+}
+
+void EventQueue::schedule_desc(Cycle when, const EventDesc& desc, EventFn fn) {
+  push(Event{when, next_seq_++, std::move(fn), desc});
 }
 
 void EventQueue::run_next() {
-  // priority_queue::top() is const; move the callable out via const_cast,
-  // which is safe because we pop immediately and never reuse the slot.
-  EventFn fn = std::move(const_cast<Event&>(heap_.top()).fn);
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  EventFn fn = std::move(heap_.back().fn);
+  heap_.pop_back();
   fn();
 }
 
 std::size_t EventQueue::run_all_at(Cycle t) {
   std::size_t n = 0;
-  while (!heap_.empty() && heap_.top().when <= t) {
+  while (!heap_.empty() && heap_.front().when <= t) {
     run_next();
     ++n;
   }
@@ -26,8 +35,23 @@ std::size_t EventQueue::run_all_at(Cycle t) {
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  heap_.clear();
   next_seq_ = 0;
+}
+
+std::vector<EventQueue::PendingEvent> EventQueue::pending() const {
+  std::vector<const Event*> ordered;
+  ordered.reserve(heap_.size());
+  for (const Event& ev : heap_) ordered.push_back(&ev);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Event* a, const Event* b) {
+              if (a->when != b->when) return a->when < b->when;
+              return a->seq < b->seq;
+            });
+  std::vector<PendingEvent> out;
+  out.reserve(ordered.size());
+  for (const Event* ev : ordered) out.push_back({ev->when, ev->desc});
+  return out;
 }
 
 }  // namespace htpb::sim

@@ -1,13 +1,23 @@
 // Deterministic discrete-event queue: events at equal timestamps fire in
-// insertion (FIFO) order so simulations are bit-reproducible.
+// insertion (FIFO) order so simulations are bit-reproducible. The (when,
+// seq) pair is a total order -- the tie-break is part of the public
+// contract (tests/sim/event_queue_test.cpp asserts it), not an accident
+// of heap layout.
+//
+// For checkpointing, events can carry an EventDesc (sim/event_desc.hpp).
+// pending() enumerates the queue in firing order; a snapshot stores the
+// descriptors and a restore re-schedules them in that order, which
+// assigns fresh monotone sequence numbers and therefore reproduces the
+// exact firing order.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <optional>
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/event_desc.hpp"
 
 namespace htpb::sim {
 
@@ -15,12 +25,24 @@ using EventFn = std::function<void()>;
 
 class EventQueue {
  public:
+  /// One pending event, as seen by a checkpoint: firing time plus the
+  /// serializable descriptor (nullopt for closure-only events).
+  struct PendingEvent {
+    Cycle when = 0;
+    std::optional<EventDesc> desc;
+  };
+
   void schedule(Cycle when, EventFn fn);
+
+  /// Schedules a descriptor-carrying event. `fn` performs the action
+  /// (typically a bound Engine::dispatch); `desc` is what a snapshot
+  /// writes out.
+  void schedule_desc(Cycle when, const EventDesc& desc, EventFn fn);
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
   [[nodiscard]] Cycle next_time() const noexcept {
-    return heap_.empty() ? kCycleMax : heap_.top().when;
+    return heap_.empty() ? kCycleMax : heap_.front().when;
   }
 
   /// Pops and runs the earliest event. Precondition: !empty().
@@ -31,11 +53,17 @@ class EventQueue {
 
   void clear();
 
+  /// Every pending event in firing order -- (when, seq) ascending.
+  /// Closure-only events appear with desc == nullopt; a snapshot caller
+  /// treats those as an error (the component forgot to use a descriptor).
+  [[nodiscard]] std::vector<PendingEvent> pending() const;
+
  private:
   struct Event {
     Cycle when;
     std::uint64_t seq;
     EventFn fn;
+    std::optional<EventDesc> desc;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -44,7 +72,11 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  void push(Event ev);
+
+  /// Min-heap on (when, seq) via std::push_heap/pop_heap. A raw vector
+  /// (rather than std::priority_queue) so pending() can enumerate it.
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -2,11 +2,21 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "common/snapshot.hpp"
 #include "mem/coherence.hpp"
 #include "workload/benchmark_profile.hpp"
 
 namespace htpb::system {
+
+namespace {
+bool g_snapshot_self_test = false;
+}  // namespace
+
+void set_snapshot_self_test(bool on) noexcept { g_snapshot_self_test = on; }
+bool snapshot_self_test() noexcept { return g_snapshot_self_test; }
 
 namespace {
 
@@ -80,6 +90,19 @@ ManyCoreSystem::ManyCoreSystem(SystemConfig cfg,
   for (NodeId n = 0; n < static_cast<NodeId>(cfg_.node_count()); ++n) {
     net_->set_handler(n, [this, n](const noc::Packet& pkt) { dispatch(n, pkt); });
   }
+
+  // Epoch drivers are scheduled as event descriptors (sim/event_desc.hpp)
+  // so checkpoints can capture the pending epoch/allocate events.
+  engine_.set_handler(sim::EventKind::kSystemEpochStart, -1,
+                      [this](const sim::EventDesc&) {
+                        begin_epoch();
+                        next_epoch_start_ += cfg_.epoch_cycles;
+                        schedule_next_epoch();
+                      });
+  engine_.set_handler(sim::EventKind::kSystemAllocate, -1,
+                      [this](const sim::EventDesc&) {
+                        gm_->allocate_and_reply(engine_.now());
+                      });
 
   engine_.add_tickable(this);  // cores tick after the network
   instr_snapshot_.assign(tiles_.size(), 0.0);
@@ -197,16 +220,15 @@ void ManyCoreSystem::begin_epoch() {
     pkt->src_app = tile.core->app();
     net_->send(std::move(pkt));
   }
-  engine_.schedule_in(cfg_.resolved_collect_window(),
-                      [this] { gm_->allocate_and_reply(engine_.now()); });
+  engine_.schedule_desc_in(
+      cfg_.resolved_collect_window(),
+      sim::EventDesc{sim::EventKind::kSystemAllocate, -1, 0, 0});
 }
 
 void ManyCoreSystem::schedule_next_epoch() {
-  engine_.schedule_at(next_epoch_start_, [this] {
-    begin_epoch();
-    next_epoch_start_ += cfg_.epoch_cycles;
-    schedule_next_epoch();
-  });
+  engine_.schedule_desc_at(
+      next_epoch_start_,
+      sim::EventDesc{sim::EventKind::kSystemEpochStart, -1, 0, 0});
 }
 
 void ManyCoreSystem::refresh_miss_rates() {
@@ -232,7 +254,96 @@ void ManyCoreSystem::tick(Cycle now) {
 }
 
 void ManyCoreSystem::run_epochs(int epochs) {
-  engine_.run_cycles(static_cast<Cycle>(epochs) * cfg_.epoch_cycles);
+  const Cycle total = static_cast<Cycle>(epochs) * cfg_.epoch_cycles;
+  if (!g_snapshot_self_test || epochs < 2) {
+    engine_.run_cycles(total);
+    return;
+  }
+  // Armed self-test: interrupt at one near-boundary cut and one mid-epoch
+  // cut, round-tripping the whole system through its JSON snapshot each
+  // time. Bit-identity with the uninterrupted run is the property under
+  // test (tests/scenario/snapshot_roundtrip_test.cpp).
+  const Cycle cuts[] = {total / 4, total / 2 + cfg_.epoch_cycles / 2};
+  Cycle done = 0;
+  for (const Cycle cut : cuts) {
+    if (cut <= done || cut >= total) continue;
+    engine_.run_cycles(cut - done);
+    done = cut;
+    const std::string text = json::dump(save_state());
+    load_state(json::parse(text));
+  }
+  engine_.run_cycles(total - done);
+}
+
+json::Value ManyCoreSystem::save_state() const {
+  json::Object o;
+  o["engine"] = engine_.save_state();
+  o["network"] = net_->save_state();
+  json::Array tiles;
+  for (const Tile& t : tiles_) {
+    json::Object to;
+    if (t.core) to["core"] = t.core->save_state();
+    if (t.l1) to["l1"] = t.l1->save_state();
+    to["l2"] = t.l2->save_state();
+    to["last_instructions"] = json::Value(t.last_instructions);
+    to["last_misses"] = common::ju64(t.last_misses);
+    to["last_grant_mw"] =
+        json::Value(static_cast<long long>(t.last_grant_mw));
+    tiles.push_back(json::Value(std::move(to)));
+  }
+  o["tiles"] = json::Value(std::move(tiles));
+  o["gm"] = gm_->save_state();
+  o["next_epoch_start"] = common::ju64(next_epoch_start_);
+  o["measure_start"] = common::ju64(measure_start_);
+  json::Array instr;
+  for (const double d : instr_snapshot_) instr.push_back(json::Value(d));
+  o["instr_snapshot"] = json::Value(std::move(instr));
+  o["infection_history_mark"] =
+      common::ju64(static_cast<std::uint64_t>(infection_history_mark_));
+  return json::Value(std::move(o));
+}
+
+void ManyCoreSystem::load_state(const json::Value& v) {
+  const json::Object& o = v.as_object();
+  // Shape check BEFORE any sub-layer mutates: a checkpoint from a
+  // different mesh must be rejected whole, not die mid-restore inside
+  // the network with half this system overwritten.
+  const json::Array& tiles = o.find("tiles")->as_array();
+  if (tiles.size() != tiles_.size()) {
+    throw std::invalid_argument(
+        "ManyCoreSystem::load_state: tile count mismatch (checkpoint from a "
+        "different configuration?)");
+  }
+  engine_.load_state(*o.find("engine"));
+  net_->load_state(*o.find("network"));
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    Tile& t = tiles_[i];
+    const json::Object& to = tiles[i].as_object();
+    const bool has_core = to.contains("core");
+    if (has_core != (t.core != nullptr) ||
+        to.contains("l1") != (t.l1 != nullptr)) {
+      throw std::invalid_argument(
+          "ManyCoreSystem::load_state: core placement mismatch (checkpoint "
+          "from a different thread mapping?)");
+    }
+    if (t.core) t.core->load_state(*to.find("core"));
+    if (t.l1) t.l1->load_state(*to.find("l1"));
+    t.l2->load_state(*to.find("l2"));
+    t.last_instructions = to.find("last_instructions")->as_double();
+    t.last_misses = common::pu64(*to.find("last_misses"));
+    t.last_grant_mw =
+        static_cast<std::uint32_t>(to.find("last_grant_mw")->as_int());
+  }
+  gm_->load_state(*o.find("gm"));
+  next_epoch_start_ = common::pu64(*o.find("next_epoch_start"));
+  measure_start_ = common::pu64(*o.find("measure_start"));
+  const json::Array& instr = o.find("instr_snapshot")->as_array();
+  instr_snapshot_.assign(tiles_.size(), 0.0);
+  for (std::size_t i = 0; i < instr.size() && i < instr_snapshot_.size(); ++i) {
+    instr_snapshot_[i] = instr[i].as_double();
+  }
+  infection_history_mark_ =
+      static_cast<std::size_t>(common::pu64(*o.find("infection_history_mark")));
 }
 
 void ManyCoreSystem::reset_measurement() {

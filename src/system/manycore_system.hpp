@@ -18,6 +18,13 @@
 
 namespace htpb::system {
 
+/// Global test hook: arms the in-place snapshot round trip performed by
+/// ManyCoreSystem::run_epochs (see its comment). Off by default; the
+/// scenario snapshot property test switches it on to exercise every
+/// registered scenario kind through the save/load path.
+void set_snapshot_self_test(bool on) noexcept;
+[[nodiscard]] bool snapshot_self_test() noexcept;
+
 class ManyCoreSystem : public sim::Tickable {
  public:
   /// Builds the chip and maps the applications' threads (the `apps`
@@ -67,7 +74,20 @@ class ManyCoreSystem : public sim::Tickable {
   void tick(Cycle now) override;
 
   /// Runs `epochs` budgeting epochs (the epoch driver self-schedules).
+  /// When the snapshot self-test hook (set_snapshot_self_test) is armed
+  /// and `epochs` >= 2, the run is interrupted at two interior cuts (one
+  /// near an epoch boundary, one mid-epoch) for an in-place
+  /// save -> dump -> parse -> load round trip; a correct snapshot layer
+  /// makes this a no-op, which the scenario property test locks in.
   void run_epochs(int epochs);
+
+  /// Checkpointing: engine clock + pending events, the full NoC, every
+  /// tile (core/L1/L2 + grant bookkeeping), the global manager and the
+  /// epoch/measurement drivers. Restore into a system built from the
+  /// identical SystemConfig + mapped applications; wiring (handlers,
+  /// inspectors, neighbour tables) is reconstructed, never serialized.
+  [[nodiscard]] json::Value save_state() const;
+  void load_state(const json::Value& v);
 
   /// Marks the start of the measurement window: snapshots per-core
   /// instruction counters and the infection-rate history.

@@ -1,0 +1,253 @@
+// PR-8 warmup-fork acceptance: arms that share a warmup prefix (same
+// system config, workload, Trojan config and placement; detectors,
+// responses and measurement length excluded by construction) simulate
+// the prefix ONCE -- on a detector-free scratch system -- and fork, and
+// the forked runs are bit-identical to straight-through simulation.
+// Persisted checkpoints (CampaignConfig::checkpoint_dir) are reused
+// across campaigns and rejected -- recomputed, never trusted -- on any
+// corruption: garbage, truncation, or a checksum that no longer matches
+// the payload.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/json.hpp"
+#include "core/campaign.hpp"
+#include "core/defense_sweep.hpp"
+#include "core/parallel_sweep.hpp"
+#include "core/placement.hpp"
+#include "workload/application.hpp"
+
+namespace htpb::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+CampaignConfig base_config() {
+  CampaignConfig cfg;
+  cfg.system = system::SystemConfig::with_size(64);
+  cfg.system.epoch_cycles = 1000;
+  cfg.mix = workload::standard_mixes().at(0);
+  cfg.trojan.victim_scale = 0.10;
+  cfg.trojan.attacker_boost = 8.0;
+  cfg.warmup_epochs = 2;
+  cfg.measure_epochs = 3;
+  return cfg;
+}
+
+std::vector<NodeId> gm_cluster(const CampaignConfig& cfg, int hts) {
+  const MeshGeometry geom(cfg.system.width, cfg.system.height);
+  const AttackCampaign probe(cfg);
+  return clustered_placement(geom, hts, geom.coord_of(probe.gm_node()),
+                             probe.gm_node());
+}
+
+void expect_identical(const CampaignOutcome& a, const CampaignOutcome& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.infection_measured, b.infection_measured) << context;
+  EXPECT_EQ(a.infection_predicted, b.infection_predicted) << context;
+  EXPECT_EQ(a.q_valid, b.q_valid) << context;
+  EXPECT_EQ(a.q, b.q) << context;
+  ASSERT_EQ(a.apps.size(), b.apps.size()) << context;
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_EQ(a.apps[i].theta_baseline, b.apps[i].theta_baseline) << context;
+    EXPECT_EQ(a.apps[i].theta_attacked, b.apps[i].theta_attacked) << context;
+    EXPECT_EQ(a.apps[i].change, b.apps[i].change) << context;
+    EXPECT_EQ(a.apps[i].phi, b.apps[i].phi) << context;
+  }
+  EXPECT_EQ(a.trojan_totals.victim_requests_modified,
+            b.trojan_totals.victim_requests_modified)
+      << context;
+  EXPECT_EQ(a.trojan_totals.attacker_requests_boosted,
+            b.trojan_totals.attacker_requests_boosted)
+      << context;
+  ASSERT_EQ(a.detection.has_value(), b.detection.has_value()) << context;
+  if (a.detection.has_value()) EXPECT_EQ(*a.detection, *b.detection) << context;
+  ASSERT_EQ(a.response.has_value(), b.response.has_value()) << context;
+  if (a.response.has_value()) EXPECT_EQ(*a.response, *b.response) << context;
+  ASSERT_EQ(a.adaptation.has_value(), b.adaptation.has_value()) << context;
+  if (a.adaptation.has_value()) {
+    EXPECT_EQ(*a.adaptation, *b.adaptation) << context;
+  }
+}
+
+// Forked runs equal straight-through runs for the full policy matrix:
+// plain, detected, closed-loop (quarantine), and duty-cycled.
+TEST(WarmupFork, ForkedRunsBitIdenticalToStraightThrough) {
+  std::vector<CampaignConfig> variants;
+  variants.push_back(base_config());  // no defense
+  {
+    CampaignConfig cfg = base_config();
+    cfg.detector = power::DetectorConfig{};
+    variants.push_back(cfg);  // passive detection
+  }
+  {
+    CampaignConfig cfg = base_config();
+    cfg.detector = power::DetectorConfig{};
+    cfg.response = power::ResponseConfig{};
+    variants.push_back(cfg);  // closed loop
+  }
+  {
+    CampaignConfig cfg = base_config();
+    cfg.trojan.active = false;
+    cfg.toggle_period_epochs = 2;  // duty-cycled activation
+    variants.push_back(cfg);
+  }
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    const std::vector<NodeId> hts = gm_cluster(variants[v], 8);
+    CampaignConfig forked_cfg = variants[v];
+    forked_cfg.warmup_fork = true;
+    CampaignConfig plain_cfg = variants[v];
+    plain_cfg.warmup_fork = false;
+    AttackCampaign forked(forked_cfg);
+    AttackCampaign plain(plain_cfg);
+    expect_identical(forked.run(hts), plain.run(hts),
+                     "variant " + std::to_string(v));
+  }
+}
+
+// The acceptance counter: a DefenseSweep with forking on simulates
+// strictly fewer warmup epochs than with it off, for the same curve.
+TEST(WarmupFork, DefenseSweepForksSharedPrefixesAndMatchesNonForkingPath) {
+  DefenseSweepConfig sweep;
+  sweep.base = base_config();
+  sweep.detectors = {power::DetectorConfig{}, power::DetectorConfig{}};
+  sweep.detectors[1].high_ratio = 1.6;
+  sweep.placements = {gm_cluster(sweep.base, 8), gm_cluster(sweep.base, 4)};
+  sweep.measure_false_positives = true;
+  sweep.responses = {power::ResponseKind::kQuarantine};
+  sweep.response_base = power::ResponseConfig{};
+  const ParallelSweepRunner runner(2);
+
+  sweep.base.warmup_fork = false;
+  const std::uint64_t plain_start = AttackCampaign::warmup_epochs_simulated();
+  const auto plain_curve = DefenseSweep(sweep).run(runner);
+  const std::uint64_t plain_epochs =
+      AttackCampaign::warmup_epochs_simulated() - plain_start;
+
+  sweep.base.warmup_fork = true;
+  const std::uint64_t fork_start = AttackCampaign::warmup_epochs_simulated();
+  const auto fork_curve = DefenseSweep(sweep).run(runner);
+  const std::uint64_t fork_epochs =
+      AttackCampaign::warmup_epochs_simulated() - fork_start;
+
+  EXPECT_LT(fork_epochs, plain_epochs)
+      << "forking must simulate strictly fewer warmup epochs";
+  EXPECT_GT(fork_epochs, 0U) << "each unique prefix still simulates once";
+
+  ASSERT_EQ(fork_curve.size(), plain_curve.size());
+  for (std::size_t d = 0; d < fork_curve.size(); ++d) {
+    const auto& f = fork_curve[d];
+    const auto& p = plain_curve[d];
+    EXPECT_EQ(f.detection_rate, p.detection_rate) << d;
+    EXPECT_EQ(f.victim_flag_rate, p.victim_flag_rate) << d;
+    EXPECT_EQ(f.attacker_flag_rate, p.attacker_flag_rate) << d;
+    EXPECT_EQ(f.false_positive_rate, p.false_positive_rate) << d;
+    EXPECT_EQ(f.mean_detection_latency, p.mean_detection_latency) << d;
+    EXPECT_EQ(f.mean_q_plain, p.mean_q_plain) << d;
+    ASSERT_EQ(f.cells.size(), p.cells.size()) << d;
+    for (std::size_t c = 0; c < f.cells.size(); ++c) {
+      expect_identical(f.cells[c].outcome, p.cells[c].outcome,
+                       "cell " + std::to_string(d) + "/" + std::to_string(c));
+    }
+    ASSERT_EQ(f.responses.size(), p.responses.size()) << d;
+    for (std::size_t r = 0; r < f.responses.size(); ++r) {
+      EXPECT_EQ(f.responses[r].mean_q, p.responses[r].mean_q) << d;
+      EXPECT_EQ(f.responses[r].mean_sanctioned, p.responses[r].mean_sanctioned)
+          << d;
+      EXPECT_EQ(f.responses[r].mean_collateral, p.responses[r].mean_collateral)
+          << d;
+    }
+  }
+}
+
+// Disk persistence: a second campaign over the same config loads the
+// first one's checkpoints instead of simulating any warmup at all.
+TEST(WarmupFork, PersistedCheckpointsAreReusedAcrossCampaigns) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "htpb_warmup_reuse";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  CampaignConfig cfg = base_config();
+  cfg.detector = power::DetectorConfig{};
+  cfg.checkpoint_dir = dir.string();
+  const std::vector<NodeId> hts = gm_cluster(cfg, 8);
+
+  AttackCampaign first(cfg);
+  const CampaignOutcome reference = first.run(hts);
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    ++files;
+    EXPECT_TRUE(e.path().filename().string().starts_with("warmup-"));
+  }
+  ASSERT_GT(files, 0U) << "first run must persist its checkpoints";
+
+  const std::uint64_t before = AttackCampaign::warmup_epochs_simulated();
+  AttackCampaign second(cfg);  // fresh in-memory cache, same directory
+  expect_identical(second.run(hts), reference, "disk-forked rerun");
+  EXPECT_EQ(AttackCampaign::warmup_epochs_simulated() - before, 0U)
+      << "every warmup prefix should load from disk, none re-simulate";
+
+  fs::remove_all(dir);
+}
+
+// Defective checkpoint files -- garbage, truncated, or checksum-valid
+// JSON whose checksum field was tampered -- must be recomputed, never
+// restored: same outcome as a pristine run, warmup re-simulated.
+TEST(WarmupFork, CorruptCheckpointsRecomputedNeverTrusted) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "htpb_warmup_corrupt";
+
+  CampaignConfig cfg = base_config();
+  cfg.checkpoint_dir = dir.string();
+  const std::vector<NodeId> hts = gm_cluster(cfg, 8);
+
+  const auto corruptions = std::vector<std::string>{
+      "garbage", "truncate", "checksum", "schema"};
+  CampaignOutcome reference;
+  {
+    CampaignConfig pristine = cfg;
+    pristine.checkpoint_dir.clear();
+    AttackCampaign c(pristine);
+    reference = c.run(hts);
+  }
+  for (const std::string& mode : corruptions) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    {
+      AttackCampaign writer(cfg);
+      expect_identical(writer.run(hts), reference, "writer/" + mode);
+    }
+    for (const auto& e : fs::directory_iterator(dir)) {
+      const std::string path = e.path().string();
+      if (mode == "garbage") {
+        common::atomic_write_file(path, "not json at all {{{");
+      } else if (mode == "truncate") {
+        const std::string text = common::read_file(path);
+        common::atomic_write_file(path, text.substr(0, text.size() / 2));
+      } else if (mode == "checksum") {
+        json::Value v = json::parse(common::read_file(path));
+        v.as_object()["checksum"] = json::Value(std::string("0123456789abcdef"));
+        common::atomic_write_file(path, json::dump(v));
+      } else {  // schema
+        json::Value v = json::parse(common::read_file(path));
+        v.as_object()["schema"] = json::Value(static_cast<long long>(999));
+        common::atomic_write_file(path, json::dump(v));
+      }
+    }
+    const std::uint64_t before = AttackCampaign::warmup_epochs_simulated();
+    AttackCampaign reader(cfg);
+    expect_identical(reader.run(hts), reference, "reader/" + mode);
+    EXPECT_GT(AttackCampaign::warmup_epochs_simulated() - before, 0U)
+        << mode << ": defective checkpoints must be recomputed";
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace htpb::core

@@ -1,0 +1,56 @@
+// Checkpointing correctness lock (the PR-8 acceptance bar): for EVERY
+// registered scenario, running at --quick with the snapshot self-test
+// armed -- ManyCoreSystem::run_epochs interrupts each multi-epoch run at
+// a near-boundary cut and a mid-epoch cut and round-trips the whole
+// system (engine, NoC, tiles, caches, manager, RNG streams) through its
+// JSON snapshot at each cut -- must produce a result tree bit-identical
+// to the uninterrupted run, "timing"/"threads" excepted. Any state a
+// layer forgets to save (or restores in a different iteration order)
+// shows up here as a double-for-double diff.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "system/manycore_system.hpp"
+
+namespace htpb::scenario {
+namespace {
+
+/// Wall-clock seconds and the pool size are the non-deterministic parts.
+json::Value without_timing(json::Value v) {
+  v.as_object()["timing"] = json::Value();
+  v.as_object()["threads"] = json::Value();
+  return v;
+}
+
+/// RAII so a failing scenario cannot leave the hook armed for the rest
+/// of the process.
+class SelfTestGuard {
+ public:
+  SelfTestGuard() { system::set_snapshot_self_test(true); }
+  ~SelfTestGuard() { system::set_snapshot_self_test(false); }
+};
+
+TEST(SnapshotRoundtrip, EveryRegistryScenarioBitIdenticalThroughSnapshots) {
+  RunOptions opts;
+  opts.quick = true;
+  for (const ScenarioSpec& spec : registry()) {
+    ASSERT_FALSE(system::snapshot_self_test());
+    const json::Value plain = without_timing(run_scenario(spec, opts));
+    json::Value cut;
+    {
+      SelfTestGuard armed;
+      cut = without_timing(run_scenario(spec, opts));
+    }
+    EXPECT_EQ(json::dump(plain, 0), json::dump(cut, 0))
+        << "scenario \"" << spec.name
+        << "\": snapshot/restore diverged from the straight-through run";
+  }
+}
+
+}  // namespace
+}  // namespace htpb::scenario
