@@ -58,7 +58,7 @@ class HardwareTrojan final : public noc::PacketInspector {
   void latch_config(const noc::Packet& pkt);
   void tamper(noc::Packet& pkt);
 
-  NodeId host_;
+  NodeId host_;  // snapshot-exempt: construction wiring -- restore implants at the same router
   // "Two registers" of Fig. 2a: the global manager id and the attacker
   // agent ids, plus the activation/mode state.
   NodeId gm_ = kInvalidNode;

@@ -93,12 +93,12 @@ class CoreModel {
  private:
   [[nodiscard]] std::uint64_t next_address();
 
-  NodeId node_;
-  AppId app_;
+  NodeId node_;  // snapshot-exempt: construction wiring (tile identity)
+  AppId app_;    // snapshot-exempt: construction wiring (workload assignment)
   IpcModel ipc_;
-  const FrequencyTable* freqs_;
+  const FrequencyTable* freqs_;  // snapshot-exempt: shared immutable table, re-wired by construction
   Rng rng_;
-  MemAccessFn mem_access_;
+  MemAccessFn mem_access_;  // snapshot-exempt: callback wiring, re-installed by construction
 
   int level_ = 0;
   double duty_ = 1.0;
@@ -108,14 +108,15 @@ class CoreModel {
 
   // Address stream: mostly-sequential walk over a private region with a
   // fraction of accesses to the application's shared region.
-  std::uint64_t as_base_ = 0;
-  std::uint64_t as_lines_ = 1;
-  std::uint64_t as_shared_base_ = 0;
-  std::uint64_t as_shared_lines_ = 1;
+  std::uint64_t as_base_ = 0;         // snapshot-exempt: workload config, fixed for the run
+  std::uint64_t as_lines_ = 1;        // snapshot-exempt: workload config, fixed for the run
+  std::uint64_t as_shared_base_ = 0;  // snapshot-exempt: workload config, fixed for the run
+  std::uint64_t as_shared_lines_ = 1; // snapshot-exempt: workload config, fixed for the run
   std::uint64_t as_cursor_ = 0;
-  double shared_fraction_ = 0.1;
-  double write_fraction_ = 0.2;
-  double apki_ = 0.0;  // NoC-bound accesses per kilo-instruction
+  double shared_fraction_ = 0.1;  // snapshot-exempt: workload config, fixed for the run
+  double write_fraction_ = 0.2;   // snapshot-exempt: workload config, fixed for the run
+  // NoC-bound accesses per kilo-instruction
+  double apki_ = 0.0;  // snapshot-exempt: workload config, fixed for the run
 };
 
 }  // namespace htpb::cpu

@@ -81,10 +81,10 @@ class L1Cache {
   void handle_reply(const noc::Packet& pkt);
   void handle_invalidate(const noc::Packet& pkt);
 
-  NodeId node_;
-  L1Config cfg_;
-  noc::MeshNetwork* net_;
-  cpu::CoreModel* core_;
+  NodeId node_;   // snapshot-exempt: construction wiring (tile identity)
+  L1Config cfg_;  // snapshot-exempt: construction config, immutable
+  noc::MeshNetwork* net_;   // snapshot-exempt: non-owning wiring, re-attached by construction
+  cpu::CoreModel* core_;    // snapshot-exempt: non-owning wiring, re-attached by construction
   SetAssocCache<LineData> cache_;
   std::unordered_map<std::uint64_t, Mshr> mshrs_;
   L1Stats stats_;

@@ -267,6 +267,7 @@ json::Value L2Bank::save_state() const {
   o["clock"] = common::ju64(cache_.lru_clock());
   std::vector<std::uint64_t> addrs;
   addrs.reserve(busy_.size());
+  // htpb-lint: allow(unordered-iter) keys are collected then sorted before use
   for (const auto& [addr, txn] : busy_) addrs.push_back(addr);
   std::sort(addrs.begin(), addrs.end());
   json::Array busy;

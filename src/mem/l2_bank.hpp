@@ -108,10 +108,10 @@ class L2Bank {
   void send_invalidate(NodeId target, std::uint64_t addr,
                        std::uint32_t gen);
 
-  NodeId node_;
-  L2Config cfg_;
-  noc::MeshNetwork* net_;
-  sim::Engine* engine_;
+  NodeId node_;   // snapshot-exempt: construction wiring (tile identity)
+  L2Config cfg_;  // snapshot-exempt: construction config, immutable
+  noc::MeshNetwork* net_;  // snapshot-exempt: non-owning wiring, re-attached by construction
+  sim::Engine* engine_;    // snapshot-exempt: non-owning wiring, re-attached by construction
   SetAssocCache<DirEntry> cache_;
   std::unordered_map<std::uint64_t, Txn> busy_;
   L2Stats stats_;

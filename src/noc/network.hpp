@@ -124,14 +124,15 @@ class MeshNetwork : public sim::Tickable {
     }
   }
 
-  sim::Engine& engine_;
-  MeshGeometry geom_;
-  NocConfig cfg_;
+  sim::Engine& engine_;  // snapshot-exempt: non-owning wiring, re-attached by construction
+  MeshGeometry geom_;    // snapshot-exempt: construction config, immutable
+  NocConfig cfg_;        // snapshot-exempt: construction config, immutable
   PacketPool pool_;
-  std::unique_ptr<RoutingAlgorithm> routing_;
+  std::unique_ptr<RoutingAlgorithm> routing_;  // snapshot-exempt: stateless algorithm chosen by config
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   /// neighbour_[node * kNumPorts + port]: adjacent router id, -1 if edge.
+  // snapshot-exempt: precomputed from the immutable mesh geometry
   std::vector<std::int32_t> neighbour_;
   std::vector<LinkTransfer> transfers_;
   std::vector<CreditReturn> credits_;

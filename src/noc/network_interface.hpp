@@ -90,9 +90,9 @@ class NetworkInterface {
 
   bool try_inject_class(int cls, Flit& out);
 
-  NodeId id_;
-  NocConfig cfg_;
-  DeliveryHandler handler_;
+  NodeId id_;      // snapshot-exempt: construction wiring (tile identity)
+  NocConfig cfg_;  // snapshot-exempt: construction config, immutable
+  DeliveryHandler handler_;  // snapshot-exempt: callback wiring, re-installed by construction
   std::vector<int> credits_;
   ClassState classes_[2];
   int rr_class_ = 0;

@@ -184,14 +184,15 @@ class Router {
 
   void run_inspectors(Packet& pkt, Cycle now);
 
-  NodeId id_;
-  MeshGeometry geom_;
-  Coord coord_;
+  NodeId id_;          // snapshot-exempt: construction wiring (router identity)
+  MeshGeometry geom_;  // snapshot-exempt: construction config, immutable
+  Coord coord_;        // snapshot-exempt: derived from id_ and geometry
   NocConfig cfg_;
-  const RoutingAlgorithm* routing_;
-  bool routing_uses_credits_ = false;
+  const RoutingAlgorithm* routing_;  // snapshot-exempt: non-owning wiring, re-attached by construction
+  bool routing_uses_credits_ = false;  // snapshot-exempt: derived from the routing algorithm's capabilities
   std::array<InputPort, kNumPorts> in_;
   std::array<OutputPort, kNumPorts> out_;
+  // snapshot-exempt: attached probes re-register themselves after restore
   std::vector<PacketInspector*> inspectors_;
   RouterStats stats_;
   std::uint64_t buffered_flits_ = 0;

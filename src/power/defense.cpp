@@ -153,6 +153,7 @@ void RequestAnomalyDetector::rearm(NodeId node) {
 
 std::size_t RequestAnomalyDetector::unarmed_cores() const {
   std::size_t n = 0;
+  // htpb-lint: allow(unordered-iter) order-insensitive count over all entries
   for (const auto& [node, pc] : state_) {
     if (pc.samples_seen < cfg_.warmup_epochs || pc.samples_seen == 0) ++n;
   }

@@ -183,7 +183,7 @@ class RequestAnomalyDetector {
   /// Stamps first_flag_epoch on `newly` and the cumulative report.
   void close_epoch(int epoch, DetectorReport& newly);
 
-  DetectorConfig cfg_;
+  DetectorConfig cfg_;  // snapshot-exempt: construction config, immutable
   DetectorReport cumulative_;
 
  private:
@@ -277,8 +277,9 @@ class GuardedBudgeter final : public Budgeter {
   void load_state(const json::Value& v) override;
 
  private:
+  // snapshot-exempt: wrapped policy is stateless config, re-created by construction
   std::unique_ptr<Budgeter> inner_;
-  DetectorConfig cfg_;
+  DetectorConfig cfg_;  // snapshot-exempt: construction config, immutable
   // Allocation history evolves across calls; allocate() is logically const
   // for the Budgeter interface but the guard's memory must persist.
   mutable std::unordered_map<NodeId, double> history_;

@@ -296,15 +296,15 @@ class GlobalManager {
   }
 
  private:
-  NodeId node_;
-  noc::MeshNetwork* net_;
+  NodeId node_;           // snapshot-exempt: construction wiring (manager tile)
+  noc::MeshNetwork* net_;  // snapshot-exempt: non-owning wiring, re-attached by construction
   std::unique_ptr<Budgeter> budgeter_;
   std::uint64_t budget_mw_;
-  std::uint32_t floor_mw_;
-  std::function<bool(AppId)> is_attacker_;
-  RequestAnomalyDetector* detector_ = nullptr;
-  RequestTrace* recorder_ = nullptr;
-  ResponseEngine* response_ = nullptr;
+  std::uint32_t floor_mw_;  // snapshot-exempt: construction config, immutable
+  std::function<bool(AppId)> is_attacker_;  // snapshot-exempt: callback wiring, re-installed by construction
+  RequestAnomalyDetector* detector_ = nullptr;  // snapshot-exempt: non-owning; the detector snapshots itself
+  RequestTrace* recorder_ = nullptr;   // snapshot-exempt: non-owning attached recorder
+  ResponseEngine* response_ = nullptr;  // snapshot-exempt: non-owning; the response engine snapshots itself
   bool collecting_ = false;
   std::vector<BudgetRequest> pending_;
   /// Requesters of victim applications this epoch (victim_granted_mw

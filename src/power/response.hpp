@@ -144,8 +144,8 @@ class ResponseEngine {
  private:
   void sanction(NodeId node);
 
-  ResponseConfig cfg_;
-  RequestAnomalyDetector* detector_ = nullptr;
+  ResponseConfig cfg_;  // snapshot-exempt: construction config, immutable
+  RequestAnomalyDetector* detector_ = nullptr;  // snapshot-exempt: non-owning wiring, re-attached by construction
   /// node -> remaining sanction epochs. std::map: iteration order must be
   /// deterministic (release/re-arm order feeds detector state).
   std::map<NodeId, int> active_;

@@ -106,8 +106,8 @@ class Engine {
 
   Cycle now_ = 0;
   EventQueue events_;
-  std::vector<Tickable*> tickables_;
-  std::map<std::uint64_t, EventHandler> handlers_;
+  std::vector<Tickable*> tickables_;  // snapshot-exempt: components re-register on construction
+  std::map<std::uint64_t, EventHandler> handlers_;  // snapshot-exempt: callback wiring, re-installed by construction
 };
 
 }  // namespace htpb::sim

@@ -117,15 +117,15 @@ class ManyCoreSystem : public sim::Tickable {
   void begin_epoch();
   void refresh_miss_rates();
 
-  SystemConfig cfg_;
+  SystemConfig cfg_;  // snapshot-exempt: construction config, immutable
   sim::Engine engine_;
   std::unique_ptr<noc::MeshNetwork> net_;
-  std::vector<workload::Application> apps_;
+  std::vector<workload::Application> apps_;  // snapshot-exempt: workload spec, fixed for the run
   std::vector<Tile> tiles_;
   std::unique_ptr<power::GlobalManager> gm_;
-  NodeId gm_node_ = kInvalidNode;
-  std::uint64_t budget_mw_ = 0;
-  std::uint32_t floor_mw_ = 0;
+  NodeId gm_node_ = kInvalidNode;   // snapshot-exempt: derived from cfg_ at construction
+  std::uint64_t budget_mw_ = 0;     // snapshot-exempt: derived from cfg_ at construction
+  std::uint32_t floor_mw_ = 0;      // snapshot-exempt: derived from cfg_ at construction
   Cycle next_epoch_start_ = 0;
 
   // Measurement window state.

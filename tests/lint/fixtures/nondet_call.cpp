@@ -1,0 +1,29 @@
+// Fixture for the nondet-call rule: every wall-clock / libc-randomness
+// source must fire; the annotated timing block must be silenced.
+// Line numbers are asserted by tests/lint/htpb_lint_test.cpp.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fix {
+
+inline unsigned bad_seed() {
+  std::random_device rd;                    // fires: line 12
+  return rd() + static_cast<unsigned>(std::rand());  // fires: line 13
+}
+
+inline long bad_stamp() {
+  return std::time(nullptr);                // fires: line 17
+}
+
+inline long bad_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // fires: line 21
+}
+
+inline long allowed_clock() {
+  // htpb-lint: allow(nondet-call) fixture: timing helper, not results
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fix

@@ -1,0 +1,23 @@
+// Fixture for the ptr-key-container rule: ordered containers keyed by a
+// pointer iterate in allocation-address order, which varies run to run.
+// Line numbers are asserted by tests/lint/htpb_lint_test.cpp.
+#include <map>
+#include <set>
+#include <string>
+
+namespace fix {
+
+struct Thing {
+  int id = 0;
+};
+
+class Registry {
+ private:
+  std::map<Thing*, int> rank_;  // fires: line 16
+  std::set<const Thing*> live_;  // fires: line 17
+  // htpb-lint: allow(ptr-key-container) fixture: debug-only diagnostics
+  std::map<Thing*, std::string> labels_;
+  std::map<int, Thing*> by_id_;  // pointer VALUES are fine, keys are ids
+};
+
+}  // namespace fix

@@ -1,0 +1,24 @@
+// Fixture for the snapshot-complete rule: every data member of a class
+// with save_state/load_state must be referenced in the snapshot bodies
+// or carry a snapshot-exempt annotation. `dropped_` is deliberately
+// omitted from both bodies and must fire.
+// Line numbers are asserted by tests/lint/htpb_lint_test.cpp.
+
+namespace fix {
+
+class Snap {
+ public:
+  int save_state() const { return saved_a_ + saved_b_; }
+  void load_state(int v) {
+    saved_a_ = v;
+    saved_b_ = v;
+  }
+
+ private:
+  int saved_a_ = 0;
+  int saved_b_ = 0;
+  int dropped_ = 0;  // fires: line 20
+  int wiring_ = 0;  // snapshot-exempt: fixture: derived at construction
+};
+
+}  // namespace fix

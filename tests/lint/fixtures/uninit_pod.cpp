@@ -1,0 +1,27 @@
+// Fixture for the uninit-pod-member rule: a snapshot-bearing class must
+// not carry uninitialized trivial members -- a restored object would
+// inherit garbage for anything load_state misses.
+// Line numbers are asserted by tests/lint/htpb_lint_test.cpp.
+#include <cstdint>
+#include <vector>
+
+namespace fix {
+
+class Counter {
+ public:
+  int save_state() const;
+  void load_state(int v);
+
+ private:
+  int bad_count_;                   // fires: line 16
+  double* bad_samples_;             // fires: line 17
+  int good_count_ = 0;
+  std::uint64_t good_cycles_{0};
+  std::vector<int> not_pod_;
+  int ctor_inited_;
+
+ public:
+  Counter() : ctor_inited_(0) {}
+};
+
+}  // namespace fix

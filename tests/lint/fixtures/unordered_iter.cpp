@@ -1,0 +1,37 @@
+// Fixture for the unordered-iter rule. The bare range-for over an
+// unordered_map member must fire; the annotated copy must be silenced.
+// Line numbers are asserted by tests/lint/htpb_lint_test.cpp -- keep the
+// layout stable.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fix {
+
+class Tally {
+ public:
+  int total() const {
+    int n = 0;
+    for (const auto& [node, count] : by_node_) n += count;  // fires: line 14
+    return n;
+  }
+
+  int total_allowed() const {
+    int n = 0;
+    // htpb-lint: allow(unordered-iter) fixture: order-insensitive sum
+    for (const auto& [node, count] : by_node_) n += count;
+    return n;
+  }
+
+  bool touched() const {
+    for (const int node : seen_) {  // fires: line 26
+      if (node >= 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::unordered_map<int, int> by_node_;
+  std::unordered_set<int> seen_;
+};
+
+}  // namespace fix

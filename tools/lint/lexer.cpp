@@ -1,0 +1,157 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace htpb::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void append_comment(LexedFile& out, int line, const std::string& text) {
+  std::string& slot = out.comments[line];
+  if (!slot.empty()) slot += ' ';
+  slot += text;
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& text) {
+  LexedFile out;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  const auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? text[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor line: skip to EOL, honoring backslash continuations.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (text[i] == '\\' && peek(1) == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments: recorded per-line, never tokenized.
+    if (c == '/' && peek(1) == '/') {
+      const int start = line;
+      std::size_t j = i + 2;
+      while (j < n && text[j] != '\n') ++j;
+      append_comment(out, start, text.substr(i + 2, j - (i + 2)));
+      i = j;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start = line;
+      std::size_t j = i + 2;
+      std::string body;
+      while (j < n && !(text[j] == '*' && j + 1 < n && text[j + 1] == '/')) {
+        if (text[j] == '\n') ++line;
+        body += text[j];
+        ++j;
+      }
+      append_comment(out, start, body);
+      i = j < n ? j + 2 : n;
+      continue;
+    }
+
+    // Raw string literal: R"tag( ... )tag".
+    if (c == 'R' && peek(1) == '"' && ident_start('R')) {
+      std::size_t j = i + 2;
+      std::string tag;
+      while (j < n && text[j] != '(' && text[j] != '\n') tag += text[j++];
+      const std::string close = ")" + tag + "\"";
+      const std::size_t end = text.find(close, j);
+      for (std::size_t k = j; k < (end == std::string::npos ? n : end); ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      out.tokens.push_back({TokKind::kPunct, "\"raw\"", line});
+      i = end == std::string::npos ? n : end + close.size();
+      continue;
+    }
+
+    // String / char literals collapse to a placeholder token.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        if (text[j] == '\n') ++line;  // unterminated; keep line counts sane
+        ++j;
+      }
+      out.tokens.push_back(
+          {TokKind::kPunct, quote == '"' ? "\"str\"" : "'chr'", line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      // Good enough for pattern matching: digits, dots, exponent signs,
+      // hex letters, digit separators, suffixes.
+      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Punctuation. Keep whole only what the matchers must not see split;
+    // everything else is a single character (">>" intentionally splits).
+    const char d = peek(1);
+    if ((c == ':' && d == ':') || (c == '-' && d == '>') ||
+        (c == '<' && d == '=') || (c == '>' && d == '=') ||
+        (c == '<' && d == '<') || (c == '=' && d == '=') ||
+        (c == '!' && d == '=') || (c == '&' && d == '&') ||
+        (c == '|' && d == '|')) {
+      out.tokens.push_back({TokKind::kPunct, std::string{c, d}, line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  out.last_line = line;
+  return out;
+}
+
+}  // namespace htpb::lint

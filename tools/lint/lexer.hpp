@@ -1,0 +1,41 @@
+// Minimal C++ tokenizer for htpb_lint. Not a compiler front end: it
+// strips comments, string/char literals, and preprocessor lines, and
+// yields a flat token stream that the rule engine pattern-matches. The
+// only multi-character punctuators kept whole are the ones whose split
+// forms would confuse the matchers ("::" vs ":" in range-for detection,
+// "->" vs ">" in template-argument tracking, "<=" / ">=" / "<<" so a
+// comparison or stream insert does not read as a template bracket).
+// ">>" is deliberately split into two ">" tokens, C++11-style, so nested
+// template argument lists close correctly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace htpb::lint {
+
+enum class TokKind { kIdent, kNumber, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// Comment text per line, concatenated when a line holds several.
+  /// A block comment is recorded on the line it starts on. Used for the
+  /// inline-suppression and snapshot-exempt markers, which are
+  /// comment-level syntax invisible to the tokens.
+  std::map<int, std::string> comments;
+  int last_line = 1;
+};
+
+/// Tokenizes `text`. Never throws on malformed input: an unterminated
+/// literal or comment simply ends at EOF (the lint degrades to fewer
+/// matches, never to a crash).
+LexedFile lex(const std::string& text);
+
+}  // namespace htpb::lint

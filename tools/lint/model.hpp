@@ -1,0 +1,67 @@
+// Structural model of one source file, extracted from the token stream.
+// This is the "parser" half of htpb_lint: a brace/paren-tracking scan
+// that recognizes exactly the shapes the determinism rules need --
+// class bodies and their data members, save_state/load_state bodies
+// (inline and out-of-class), declarations of unordered containers, and
+// range-for statements -- without a real C++ front end. Anything it
+// cannot classify it skips; the failure mode is a missed finding, never
+// a crash or a spurious parse error.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace htpb::lint {
+
+struct Member {
+  std::string name;
+  int line = 0;
+  /// Declaration tokens left of the member name (cv-qualifiers stripped).
+  std::vector<std::string> type_tokens;
+  bool has_init = false;
+};
+
+struct ClassInfo {
+  std::string name;
+  int line = 0;
+  std::vector<Member> members;
+  bool declares_save = false;
+  bool declares_load = false;
+  /// Identifier tokens appearing inside inline save_state/load_state
+  /// bodies (and anything they mention), for the completeness rule.
+  std::set<std::string> snapshot_idents;
+};
+
+struct RangeFor {
+  int line = 0;
+  /// Final identifier of the range expression when it is a plain
+  /// identifier / member-access chain ("m", "this->m_", "obj.m_");
+  /// empty when the expression is anything more complex (a call, an
+  /// index, a temporary), which the unordered-iteration rule ignores.
+  std::string target;
+};
+
+struct FileModel {
+  std::string path;  // repo-relative, '/'-separated
+  LexedFile lexed;
+  std::vector<ClassInfo> classes;
+  /// Identifier idents inside out-of-class `X::save_state` /
+  /// `X::load_state` definitions, keyed by class name X.
+  std::map<std::string, std::set<std::string>> snapshot_body_idents;
+  /// Members initialized in a constructor mem-init-list, keyed by class
+  /// name. The uninit-pod-member rule treats these as initialized.
+  std::map<std::string, std::set<std::string>> ctor_inits;
+  /// Names declared with an unordered container type in this file
+  /// (members, locals, parameters; aliases resolved one level).
+  std::set<std::string> unordered_names;
+  std::vector<RangeFor> range_fors;
+};
+
+/// Builds the model for one already-lexed file.
+FileModel build_model(std::string path, LexedFile lexed);
+
+}  // namespace htpb::lint

@@ -1,0 +1,422 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace htpb::lint {
+
+namespace {
+
+constexpr const char* kUnorderedIter = "unordered-iter";
+constexpr const char* kNondetCall = "nondet-call";
+constexpr const char* kPtrKey = "ptr-key-container";
+constexpr const char* kUninitPod = "uninit-pod-member";
+constexpr const char* kSnapshotComplete = "snapshot-complete";
+
+const std::set<std::string>& fundamental_types() {
+  // Fundamental + <cstdint> names, plus the repo's own trivially-copyable
+  // aliases from common/types.hpp. A member of one of these types left
+  // without an initializer in a snapshot-bearing class restores from
+  // whatever the allocator handed out.
+  static const std::set<std::string> t = {
+      "bool",     "char",     "char8_t",   "char16_t", "char32_t",
+      "wchar_t",  "short",    "int",       "long",     "unsigned",
+      "signed",   "float",    "double",    "size_t",   "ptrdiff_t",
+      "int8_t",   "int16_t",  "int32_t",   "int64_t",  "uint8_t",
+      "uint16_t", "uint32_t", "uint64_t",  "intptr_t", "uintptr_t",
+      "Cycle",    "NodeId",   "AppId",     "PacketId"};
+  return t;
+}
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Inline markers of one file, pre-validated: a malformed marker is a
+/// configuration error even when no finding would have consulted it.
+struct InlineMarkers {
+  std::map<int, std::set<std::string>> allows;  // line -> rule ids
+  std::set<int> exempt_lines;                   // snapshot-exempt lines
+};
+
+InlineMarkers scan_markers(const FileModel& m,
+                           std::vector<std::string>& errors) {
+  InlineMarkers out;
+  for (const auto& [line, text] : m.lexed.comments) {
+    const std::string where = m.path + ":" + std::to_string(line);
+    if (const std::size_t at = text.find("htpb-lint:");
+        at != std::string::npos) {
+      const std::string rest = trim(text.substr(at + 10));
+      const bool ok = rest.rfind("allow(", 0) == 0;
+      const std::size_t close = ok ? rest.find(')') : std::string::npos;
+      if (!ok || close == std::string::npos) {
+        errors.push_back(where + ": malformed htpb-lint marker; expected "
+                                 "\"htpb-lint: allow(rule-id) reason\"");
+        continue;
+      }
+      std::set<std::string> ids;
+      std::stringstream list(rest.substr(6, close - 6));
+      std::string id;
+      while (std::getline(list, id, ',')) {
+        id = trim(id);
+        bool known = false;
+        for (const RuleInfo& r : rules()) known |= id == r.id;
+        if (!known) {
+          errors.push_back(where + ": unknown rule id \"" + id +
+                           "\" in htpb-lint: allow(...)");
+        } else {
+          ids.insert(id);
+        }
+      }
+      if (trim(rest.substr(close + 1)).empty()) {
+        errors.push_back(where +
+                         ": htpb-lint: allow(...) requires a reason");
+        continue;
+      }
+      if (!ids.empty()) out.allows[line] = std::move(ids);
+    }
+    if (const std::size_t at = text.find("snapshot-exempt:");
+        at != std::string::npos) {
+      if (trim(text.substr(at + 16)).empty()) {
+        errors.push_back(where + ": snapshot-exempt requires a reason");
+      } else {
+        out.exempt_lines.insert(line);
+      }
+    }
+  }
+  return out;
+}
+
+bool inline_allowed(const InlineMarkers& mk, int line,
+                    const std::string& rule) {
+  for (const int l : {line, line - 1}) {
+    const auto it = mk.allows.find(l);
+    if (it != mk.allows.end() && it->second.count(rule)) return true;
+  }
+  return false;
+}
+
+bool member_exempt(const InlineMarkers& mk, int line) {
+  return mk.exempt_lines.count(line) || mk.exempt_lines.count(line - 1);
+}
+
+bool file_suppressed(const std::vector<FileSuppression>& sups,
+                     const Violation& v) {
+  for (const FileSuppression& s : sups) {
+    if (s.rule != v.rule) continue;
+    if (s.path == v.file) return true;
+    if (!s.path.empty() && s.path.back() == '/' &&
+        v.file.rfind(s.path, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* rule_hint(const std::string& id) {
+  for (const RuleInfo& r : rules()) {
+    if (id == r.id) return r.hint;
+  }
+  return "";
+}
+
+void emit(std::vector<Violation>& out, const FileModel& m, int line,
+          const char* rule, std::string message) {
+  out.push_back(
+      Violation{m.path, line, rule, std::move(message), rule_hint(rule)});
+}
+
+// ---------------------------------------------------------------------
+
+void check_unordered_iter(const FileModel& m,
+                          const std::set<std::string>& names,
+                          std::vector<Violation>& out) {
+  for (const RangeFor& rf : m.range_fors) {
+    if (rf.target.empty() || !names.count(rf.target)) continue;
+    emit(out, m, rf.line, kUnorderedIter,
+         "range-for over unordered container '" + rf.target + "'");
+  }
+}
+
+void check_nondet_calls(const FileModel& m, std::vector<Violation>& out) {
+  const std::vector<Token>& ts = m.lexed.tokens;
+  const auto prev_blocks = [&](std::size_t i) {
+    // Member access means some other API's method that merely shares the
+    // libc name (rng.random(), cache.lru_clock() via .clock()); a
+    // non-std qualifier means the same for class-scoped names.
+    if (i == 0) return false;
+    const std::string& p = ts[i - 1].text;
+    if (p == "." || p == "->") return true;
+    if (p == "::") return !(i >= 2 && is_ident(ts[i - 2], "std"));
+    return false;
+  };
+  static const std::set<std::string> rand_like = {
+      "rand", "srand", "rand_r", "drand48", "lrand48", "random"};
+  static const std::set<std::string> time_like = {
+      "time", "clock", "gettimeofday", "clock_gettime"};
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].kind != TokKind::kIdent) continue;
+    const std::string& id = ts[i].text;
+    if (id == "random_device") {
+      emit(out, m, ts[i].line, kNondetCall,
+           "std::random_device is a nondeterministic source");
+      continue;
+    }
+    const bool call = i + 1 < ts.size() && ts[i + 1].text == "(";
+    if (!call) continue;
+    // `now` is checked before the qualifier gate: it is ALWAYS
+    // clock-qualified (steady_clock::now, clock_type::now, ...).
+    if (id == "now" && i > 0 && ts[i - 1].text == "::") {
+      const std::string qual =
+          i >= 2 && ts[i - 2].kind == TokKind::kIdent ? ts[i - 2].text
+                                                      : "clock";
+      emit(out, m, ts[i].line, kNondetCall,
+           "'" + qual + "::now()' reads wall-clock state");
+      continue;
+    }
+    if (prev_blocks(i)) continue;
+    if (rand_like.count(id)) {
+      emit(out, m, ts[i].line, kNondetCall,
+           "call to '" + id + "()' bypasses the seeded common::Rng");
+    } else if (time_like.count(id)) {
+      emit(out, m, ts[i].line, kNondetCall,
+           "call to '" + id + "()' reads wall-clock state");
+    }
+  }
+}
+
+void check_ptr_keys(const FileModel& m, std::vector<Violation>& out) {
+  static const std::set<std::string> ordered = {"map", "set", "multimap",
+                                               "multiset"};
+  const std::vector<Token>& ts = m.lexed.tokens;
+  for (std::size_t i = 2; i + 1 < ts.size(); ++i) {
+    if (ts[i].kind != TokKind::kIdent || !ordered.count(ts[i].text) ||
+        ts[i + 1].text != "<" || ts[i - 1].text != "::" ||
+        !is_ident(ts[i - 2], "std")) {
+      continue;
+    }
+    // Walk the first template argument; a trailing '*' means the keys
+    // are pointers and the tree orders by allocation address.
+    int depth = 0;
+    std::string last;
+    for (std::size_t j = i + 1; j < ts.size(); ++j) {
+      const std::string& t = ts[j].text;
+      if (t == "<") {
+        ++depth;
+        continue;
+      }
+      if (t == ">") {
+        if (--depth == 0) break;
+        continue;
+      }
+      if (t == "," && depth == 1) break;
+      if (depth >= 1) last = t;
+    }
+    if (last == "*") {
+      emit(out, m, ts[i].line, kPtrKey,
+           "std::" + ts[i].text + " keyed by a pointer type");
+    }
+  }
+}
+
+void check_members(const FileModel& m,
+                   const std::map<std::string, std::set<std::string>>& bodies,
+                   const std::map<std::string, std::set<std::string>>& inits,
+                   const InlineMarkers& mk, LintResult& result,
+                   std::vector<Violation>& out) {
+  for (const ClassInfo& c : m.classes) {
+    if (!c.declares_save && !c.declares_load) continue;
+    const auto body_it = bodies.find(c.name);
+    const bool have_impl =
+        body_it != bodies.end() && !body_it->second.empty();
+    const auto init_it = inits.find(c.name);
+    for (const Member& mem : c.members) {
+      // uninit-pod-member: trivial type, no initializer.
+      std::vector<std::string> type;
+      bool ref = false;
+      for (const std::string& t : mem.type_tokens) {
+        if (t == "&") ref = true;
+        if (t == "std" || t == "::" || t == "const" || t == "volatile") {
+          continue;
+        }
+        type.push_back(t);
+      }
+      const bool ptr = !type.empty() && type.back() == "*";
+      bool pod = !type.empty() && !ref;
+      for (const std::string& t : type) {
+        if (t != "*" && !fundamental_types().count(t)) pod = false;
+      }
+      const bool ctor_inited =
+          init_it != inits.end() && init_it->second.count(mem.name) > 0;
+      if (!mem.has_init && !ctor_inited && !ref && (pod || ptr)) {
+        emit(out, m, mem.line, kUninitPod,
+             "member '" + mem.name + "' of snapshot class '" + c.name +
+                 "' has no initializer");
+      }
+
+      // snapshot-complete: the member must be referenced by the class's
+      // save_state/load_state bodies (wherever they live).
+      if (!have_impl) continue;
+      if (body_it->second.count(mem.name)) continue;
+      if (member_exempt(mk, mem.line)) {
+        ++result.suppressed;
+        continue;
+      }
+      emit(out, m, mem.line, kSnapshotComplete,
+           "member '" + mem.name + "' of snapshot class '" + c.name +
+               "' is not referenced in save_state/load_state");
+    }
+  }
+}
+
+std::string stem_of(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(0, dot);
+}
+
+bool is_header(const std::string& path) {
+  return path.size() >= 2 && (path.rfind(".hpp") == path.size() - 4 ||
+                              path.rfind(".hh") == path.size() - 3 ||
+                              path.rfind(".h") == path.size() - 2);
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> r = {
+      {kUnorderedIter,
+       "range-for over std::unordered_map/unordered_set",
+       "collect keys, sort, iterate the sorted list (see "
+       "power/defense.cpp sorted_nodes) or use an ordered container"},
+      {kNondetCall,
+       "rand()/random_device/time()/clock()/::now() outside whitelisted "
+       "timing code",
+       "derive randomness from common::Rng seeded by the spec; route "
+       "timing through a suppressed timing helper"},
+      {kPtrKey,
+       "std::map/std::set keyed by a pointer",
+       "key by a stable id (NodeId, PacketId, index) instead of an "
+       "allocation address"},
+      {kUninitPod,
+       "uninitialized fundamental-type member in a snapshot-bearing class",
+       "give the member a default initializer so a restored object never "
+       "carries garbage"},
+      {kSnapshotComplete,
+       "data member missing from save_state/load_state",
+       "serialize the member, or mark the declaration "
+       "\"// snapshot-exempt: <reason>\" if it is derived or transient"},
+  };
+  return r;
+}
+
+std::vector<FileSuppression> parse_suppression_file(
+    const std::string& path, const std::string& body,
+    std::vector<std::string>& errors) {
+  std::vector<FileSuppression> out;
+  std::stringstream ss(body);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(ss, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::stringstream fields(t);
+    FileSuppression s;
+    s.line = lineno;
+    fields >> s.rule >> s.path;
+    std::getline(fields, s.reason);
+    s.reason = trim(s.reason);
+    const std::string where = path + ":" + std::to_string(lineno);
+    bool known = false;
+    for (const RuleInfo& r : rules()) known |= s.rule == r.id;
+    if (!known) {
+      errors.push_back(where + ": unknown rule id \"" + s.rule + "\"");
+      continue;
+    }
+    if (s.path.empty()) {
+      errors.push_back(where + ": suppression needs a path");
+      continue;
+    }
+    if (s.reason.empty()) {
+      errors.push_back(where + ": suppression for " + s.rule + " on " +
+                       s.path + " needs a reason");
+      continue;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+LintResult run_lint(const std::vector<FileModel>& models,
+                    const std::vector<FileSuppression>& suppressions) {
+  LintResult result;
+  result.files_scanned = static_cast<int>(models.size());
+
+  // Cross-file joins: snapshot bodies by class name, and unordered
+  // container names of each header stem (so X.cpp sees members X.hpp
+  // declared).
+  std::map<std::string, std::set<std::string>> bodies;
+  std::map<std::string, std::set<std::string>> ctor_inits;
+  std::map<std::string, const FileModel*> header_by_stem;
+  for (const FileModel& m : models) {
+    for (const auto& [cls, idents] : m.snapshot_body_idents) {
+      bodies[cls].insert(idents.begin(), idents.end());
+    }
+    for (const auto& [cls, names] : m.ctor_inits) {
+      ctor_inits[cls].insert(names.begin(), names.end());
+    }
+    for (const ClassInfo& c : m.classes) {
+      bodies[c.name].insert(c.snapshot_idents.begin(),
+                            c.snapshot_idents.end());
+    }
+    if (is_header(m.path)) header_by_stem[stem_of(m.path)] = &m;
+  }
+
+  std::vector<Violation> raw;
+  for (const FileModel& m : models) {
+    const InlineMarkers markers = scan_markers(m, result.errors);
+
+    std::set<std::string> unordered = m.unordered_names;
+    if (!is_header(m.path)) {
+      const auto it = header_by_stem.find(stem_of(m.path));
+      if (it != header_by_stem.end()) {
+        unordered.insert(it->second->unordered_names.begin(),
+                         it->second->unordered_names.end());
+      }
+    }
+
+    std::vector<Violation> found;
+    check_unordered_iter(m, unordered, found);
+    check_nondet_calls(m, found);
+    check_ptr_keys(m, found);
+    check_members(m, bodies, ctor_inits, markers, result, found);
+
+    for (Violation& v : found) {
+      if (inline_allowed(markers, v.line, v.rule) ||
+          file_suppressed(suppressions, v)) {
+        ++result.suppressed;
+      } else {
+        raw.push_back(std::move(v));
+      }
+    }
+  }
+
+  std::sort(raw.begin(), raw.end(), [](const Violation& a, const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  result.violations = std::move(raw);
+  std::sort(result.errors.begin(), result.errors.end());
+  return result;
+}
+
+}  // namespace htpb::lint

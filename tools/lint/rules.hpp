@@ -1,0 +1,80 @@
+// The determinism-contract rules and the suppression machinery.
+//
+// Rule ids (stable; used by suppressions, the JSON report, and CI):
+//   unordered-iter     range-for over a std::unordered_{map,set} --
+//                      iteration order is implementation-defined, so any
+//                      result derived from it breaks bit-identity
+//   nondet-call        rand()/srand()/std::random_device/time()/clock()/
+//                      <chrono> ::now() -- nondeterministic inputs
+//   ptr-key-container  std::map/std::set keyed by a pointer -- ordering
+//                      follows allocation addresses, different every run
+//   uninit-pod-member  uninitialized fundamental-type data member in a
+//                      snapshot-bearing class -- restores to garbage
+//   snapshot-complete  data member of a class declaring save_state/
+//                      load_state that is never referenced in either
+//                      implementation and not marked snapshot-exempt
+//
+// Suppression syntax, reasons mandatory. Inline, on the same line or
+// the line above the finding (the example below is itself well-formed,
+// because this comment is scanned too -- rule ids are comma-separated):
+//     // htpb-lint: allow(unordered-iter, nondet-call) explain why here
+//   member exemption for snapshot-complete, on the declaration line or
+//   the line above:
+//     // snapshot-exempt: <reason>
+//   repo suppression file (tools/htpb_lint_suppressions.txt), one per
+//   line; `path` is repo-relative, a trailing '/' makes it a prefix:
+//     rule-id  path  <reason>
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/model.hpp"
+
+namespace htpb::lint {
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+  const char* hint;
+};
+
+/// The rule table, in reporting order.
+const std::vector<RuleInfo>& rules();
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string hint;
+};
+
+struct FileSuppression {
+  std::string rule;
+  std::string path;  // exact repo-relative path, or prefix if ends in '/'
+  std::string reason;
+  int line = 0;  // line in the suppression file, for diagnostics
+};
+
+struct LintResult {
+  std::vector<Violation> violations;  // sorted by (file, line, rule)
+  int suppressed = 0;
+  int files_scanned = 0;
+  /// Configuration problems (malformed suppression, missing reason):
+  /// non-empty means the run is invalid, exit 2 regardless of findings.
+  std::vector<std::string> errors;
+};
+
+/// Parses a suppression file body. Malformed lines land in `errors`.
+std::vector<FileSuppression> parse_suppression_file(
+    const std::string& path, const std::string& body,
+    std::vector<std::string>& errors);
+
+/// Runs every rule over the models. `models` must carry repo-relative
+/// '/'-separated paths; .cpp files see the unordered-container names of
+/// the same-stem header model when both were scanned.
+LintResult run_lint(const std::vector<FileModel>& models,
+                    const std::vector<FileSuppression>& suppressions);
+
+}  // namespace htpb::lint
