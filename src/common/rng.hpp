@@ -105,6 +105,7 @@ class Rng {
       std::uint32_t n, std::uint32_t k);
 
   /// Derive an independent child stream (for per-node generators).
+  // htpb-lint: allow(seed-provenance) child stream derives from the parent's already-seeded stream
   [[nodiscard]] Rng fork() noexcept { return Rng((*this)()); }
 
   /// Raw generator state, for checkpointing. A restored stream continues

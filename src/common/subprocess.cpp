@@ -20,6 +20,7 @@ namespace {
 using clock_type = std::chrono::steady_clock;
 
 [[nodiscard]] double seconds_since(clock_type::time_point t0) {
+  // htpb-lint: allow(nondet-call) wall-clock deadline for child-process timeout, never feeds results
   return std::chrono::duration<double>(clock_type::now() - t0).count();
 }
 
@@ -45,6 +46,7 @@ SubprocessResult run_subprocess(const std::vector<std::string>& argv,
   for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
   cargv.push_back(nullptr);
 
+  // htpb-lint: allow(nondet-call) timeout reference point for the child process, never feeds results
   const auto t0 = clock_type::now();
   const pid_t pid = ::fork();
   if (pid < 0) {

@@ -126,6 +126,7 @@ struct Packet {
   std::uint32_t original_payload = 0;
 
   /// Managed by PacketPtr / PacketPool; not part of the packet's value.
+  // json-exempt: pool refcount bookkeeping, reconstructed when the pool re-adopts a deserialized packet
   PacketControl ctrl;
 
   [[nodiscard]] std::string to_string() const;
@@ -230,7 +231,9 @@ class PacketPool {
 struct Flit {
   PacketPtr pkt;
   std::uint16_t index = 0;
+  // json-exempt: derived from index and pkt->size_flits by flit_from_json
   bool is_head = false;
+  // json-exempt: derived from index and pkt->size_flits by flit_from_json
   bool is_tail = false;
   /// VC assigned on the current link (rewritten hop by hop).
   std::int8_t vc = -1;

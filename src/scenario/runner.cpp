@@ -29,6 +29,7 @@ namespace {
 
 [[nodiscard]] double now_seconds() {
   using clock = std::chrono::steady_clock;
+  // htpb-lint: allow(nondet-call) elapsed time reported as run metadata, not part of scenario results
   return std::chrono::duration<double>(clock::now().time_since_epoch())
       .count();
 }

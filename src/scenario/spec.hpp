@@ -329,6 +329,7 @@ struct ScenarioSpec {
   /// serialized by to_json, never read by from_json. Checkpoints are
   /// keyed by a config fingerprint and checksummed, so a stale or shared
   /// directory can never change a result, only skip warmup simulation.
+  // json-exempt: runtime plumbing from RunOptions, deliberately outside the spec schema (see above)
   std::string checkpoint_dir;
 
   [[nodiscard]] json::Value to_json() const;

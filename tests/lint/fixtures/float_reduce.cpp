@@ -1,0 +1,60 @@
+// Fixture for the float-unordered-reduce rule. A double accumulator fed
+// from a range-for over an unordered container fires, as does a
+// std::accumulate with a floating-point init over unordered iterators;
+// the allow()-marked copy is suppressed; the integer accumulators are
+// silent (integer addition is associative, the sum is order-invariant).
+// The loops themselves are allow()-marked for unordered-iter so this
+// fixture isolates the reduce rule.
+// Line numbers are asserted by tests/lint/htpb_lint_test.cpp -- keep the
+// layout stable.
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fix {
+
+class PowerMap {
+ public:
+  double total() const {
+    double sum = 0.0;
+    // htpb-lint: allow(unordered-iter) fixture: isolate the reduce rule
+    for (const auto& [node, w] : weights_) {
+      sum += w;  // fires: line 22
+    }
+    return sum;
+  }
+
+  double total_allowed() const {
+    double sum = 0.0;
+    // htpb-lint: allow(unordered-iter) fixture: isolate the reduce rule
+    for (const auto& [node, w] : weights_) {
+      // htpb-lint: allow(float-unordered-reduce) fixture: tolerance-checked sum
+      sum += w;
+    }
+    return sum;
+  }
+
+  int count_set() const {
+    int n = 0;
+    // htpb-lint: allow(unordered-iter) fixture: isolate the reduce rule
+    for (const auto& [node, w] : weights_) {
+      n += 1;  // silent: integer accumulator
+    }
+    return n;
+  }
+
+  double sum_costs() const {
+    return std::accumulate(costs_.begin(), costs_.end(), 0.0);  // fires: 47
+  }
+
+  long count_units() const {
+    return std::accumulate(units_.begin(), units_.end(), 0L);  // silent
+  }
+
+ private:
+  std::unordered_map<int, double> weights_;
+  std::unordered_set<int> costs_;
+  std::unordered_set<long> units_;
+};
+
+}  // namespace fix

@@ -1,0 +1,8 @@
+// Back-edge: common (layer 0) must not include noc (layer 1).
+#pragma once
+
+#include "noc/router.hpp"  // fires layer-violation: line 4
+
+namespace fix {
+inline int bad() { return router(); }
+}  // namespace fix

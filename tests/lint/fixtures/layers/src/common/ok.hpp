@@ -1,0 +1,6 @@
+// Bottom-layer header with no includes; legal target for everyone.
+#pragma once
+
+namespace fix {
+inline int ok() { return 1; }
+}  // namespace fix

@@ -1,0 +1,8 @@
+// Half of a deliberate include cycle inside one module.
+#pragma once
+
+#include "noc/ring_b.hpp"
+
+namespace fix {
+inline int ring_a() { return 0; }
+}  // namespace fix

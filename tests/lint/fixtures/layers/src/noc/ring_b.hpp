@@ -1,0 +1,8 @@
+// Other half of the include cycle: fires layer-cycle.
+#pragma once
+
+#include "noc/ring_a.hpp"
+
+namespace fix {
+inline int ring_b() { return 0; }
+}  // namespace fix

@@ -1,0 +1,8 @@
+// Legal downward include: noc (layer 1) -> common (layer 0).
+#pragma once
+
+#include "common/ok.hpp"
+
+namespace fix {
+inline int router() { return ok(); }
+}  // namespace fix

@@ -1,0 +1,38 @@
+// Fixture for the seed-provenance rule. The literal-seeded generators
+// fire; the allow()-marked one is suppressed; the one whose constructor
+// argument visibly involves a seed is silent. The 300'000 literal is a
+// lexer regression guard: a digit separator mis-lexed as a char-literal
+// quote used to swallow the rest of the file and hide the second site.
+// Line numbers are asserted by tests/lint/htpb_lint_test.cpp -- keep the
+// layout stable.
+
+namespace fix {
+
+struct Rng {
+  explicit Rng(unsigned long long s) : s_(s) {}
+  unsigned long long s_ = 0;
+};
+
+Rng make_default() {
+  Rng rng(12345);  // fires: line 17
+  return rng;
+}
+
+unsigned long long make_std() {
+  const long budget = 300'000;  // digit separator, must not eat the file
+  std::mt19937 gen(42);  // fires: line 23
+  return gen.x + budget;
+}
+
+Rng make_allowed() {
+  // htpb-lint: allow(seed-provenance) fixture: pinned demo seed
+  Rng rng(4242);
+  return rng;
+}
+
+Rng make_derived(unsigned long long seed) {
+  Rng rng(seed * 2 + 1);  // silent: visibly derived from a seed
+  return rng;
+}
+
+}  // namespace fix

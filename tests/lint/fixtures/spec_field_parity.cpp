@@ -1,0 +1,40 @@
+// Fixture for the spec-field-parity rule. `retries` is written by
+// to_json but never read back (fires); `derived_mask` appears on neither
+// side but carries a json-exempt marker (suppressed); `width` / `load`
+// round-trip on both sides (silent).
+// Line numbers are asserted by tests/lint/htpb_lint_test.cpp -- keep the
+// layout stable.
+
+namespace fix {
+
+struct Val {};
+
+class LinkSpec {
+ public:
+  Val to_json() const;
+  static LinkSpec from_json(const Val& v);
+
+ private:
+  int width = 0;
+  double load = 0.0;
+  int retries = 0;  // fires: line 20
+  // json-exempt: fixture: recomputed from width after parsing
+  int derived_mask = 0;
+};
+
+Val LinkSpec::to_json() const {
+  (void)width;
+  (void)load;
+  (void)retries;
+  return Val{};
+}
+
+LinkSpec LinkSpec::from_json(const Val& v) {
+  (void)v;
+  LinkSpec s;
+  (void)s.width;
+  (void)s.load;
+  return s;
+}
+
+}  // namespace fix

@@ -8,8 +8,10 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -84,6 +86,44 @@ int suppressed(const LintRun& r) {
 std::string fixture_args(const std::string& file) {
   return std::string("--root ") + HTPB_LINT_FIXTURE_DIR +
          " --no-default-suppressions " + file;
+}
+
+int baseline_matched(const LintRun& r) {
+  return static_cast<int>(
+      get(r.report.as_object(), "baseline_matched").as_int());
+}
+
+/// Runs htpb_lint capturing raw stdout bytes (human lines + `--json -`
+/// report); stderr goes to `stderr_path` so cache statistics can be
+/// asserted without perturbing the report bytes.
+std::string run_raw(const std::string& args, const std::string& stderr_path) {
+  const std::string cmd = std::string(HTPB_LINT_BINARY) + " --json - " + args +
+                          " 2>" + stderr_path;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  std::string out;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    out.append(buf.data(), n);
+  }
+  pclose(pipe);
+  return out;
+}
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Exit code of htpb_lint run via system(), stdout/stderr discarded.
+int run_status(const std::string& args) {
+  const std::string cmd =
+      std::string(HTPB_LINT_BINARY) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
 TEST(HtpbLint, UnorderedIterFiresAndInlineAllowSilences) {
@@ -167,6 +207,121 @@ TEST(HtpbLint, SuppressionWithoutReasonIsConfigError) {
                              " --suppressions " + supp);
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_FALSE(get(r.report.as_object(), "errors").as_array().empty());
+}
+
+TEST(HtpbLint, SpecFieldParityFiresAndJsonExemptSilences) {
+  const LintRun r = run_lint(fixture_args("spec_field_parity.cpp"));
+  EXPECT_EQ(r.exit_code, 1);
+  // retries is written by to_json but never read back; width/load
+  // round-trip; derived_mask is json-exempt with a reason.
+  EXPECT_EQ(violations(r),
+            (std::set<std::tuple<std::string, int, std::string>>{
+                {"spec_field_parity.cpp", 20, "spec-field-parity"}}));
+  EXPECT_EQ(suppressed(r), 1);
+}
+
+TEST(HtpbLint, SeedProvenanceFiresAcrossDigitSeparators) {
+  const LintRun r = run_lint(fixture_args("seed_provenance.cpp"));
+  EXPECT_EQ(r.exit_code, 1);
+  // Line 23 sits after a 300'000 literal: the digit separator used to be
+  // mis-lexed as a char-literal quote, swallowing the rest of the file
+  // and hiding this site. The seed-derived constructor stays silent.
+  EXPECT_EQ(violations(r),
+            (std::set<std::tuple<std::string, int, std::string>>{
+                {"seed_provenance.cpp", 17, "seed-provenance"},
+                {"seed_provenance.cpp", 23, "seed-provenance"}}));
+  EXPECT_EQ(suppressed(r), 1);  // the allow()-marked pinned demo seed
+}
+
+TEST(HtpbLint, FloatUnorderedReduceRequiresFloatEvidence) {
+  const LintRun r = run_lint(fixture_args("float_reduce.cpp"));
+  EXPECT_EQ(r.exit_code, 1);
+  // The double `+=` and the 0.0-seeded accumulate fire; the integer
+  // accumulators are silent.
+  EXPECT_EQ(violations(r),
+            (std::set<std::tuple<std::string, int, std::string>>{
+                {"float_reduce.cpp", 22, "float-unordered-reduce"},
+                {"float_reduce.cpp", 47, "float-unordered-reduce"}}));
+  // 3 unordered-iter allows on the loops + 1 float-unordered-reduce.
+  EXPECT_EQ(suppressed(r), 4);
+}
+
+TEST(HtpbLint, LayeringBackEdgeAndCycleFire) {
+  const std::string dir = std::string(HTPB_LINT_FIXTURE_DIR) + "/layers";
+  const LintRun r = run_lint("--root " + dir + " --layers " + dir +
+                             "/layers.txt --no-default-suppressions");
+  EXPECT_EQ(r.exit_code, 1);
+  // common -> noc is a back-edge; ring_a <-> ring_b is a cycle; the
+  // legal downward include noc -> common stays silent.
+  EXPECT_EQ(violations(r),
+            (std::set<std::tuple<std::string, int, std::string>>{
+                {"src/common/bad.hpp", 4, "layer-violation"},
+                {"src/noc/ring_b.hpp", 4, "layer-cycle"}}));
+}
+
+TEST(HtpbLint, CacheDirWarmRunIsByteIdentical) {
+  namespace fs = std::filesystem;
+  const fs::path tmp(HTPB_LINT_TEST_TMPDIR);
+  const fs::path cache = tmp / "lint_cache";
+  fs::remove_all(cache);
+  const std::string args = fixture_args("spec_field_parity.cpp") +
+                           " seed_provenance.cpp --cache-dir " +
+                           cache.string();
+  const std::string cold = run_raw(args, (tmp / "cache_err1.txt").string());
+  const std::string warm = run_raw(args, (tmp / "cache_err2.txt").string());
+  EXPECT_FALSE(cold.empty());
+  EXPECT_EQ(cold, warm);  // warm report is byte-identical to the cold one
+  EXPECT_NE(read_file(tmp / "cache_err1.txt").find("0 hits, 2 misses"),
+            std::string::npos);
+  EXPECT_NE(read_file(tmp / "cache_err2.txt").find("2 hits, 0 misses"),
+            std::string::npos);
+}
+
+TEST(HtpbLint, BaselineSilencesKnownFindingsButFailsOnNew) {
+  const std::string base =
+      std::string(HTPB_LINT_TEST_TMPDIR) + "/lint_baseline.json";
+  ASSERT_EQ(run_status("--json " + base + " " +
+                       fixture_args("seed_provenance.cpp")),
+            1);  // the report written here becomes the baseline
+  const LintRun clean = run_lint(fixture_args("seed_provenance.cpp") +
+                                 " --baseline " + base);
+  EXPECT_EQ(clean.exit_code, 0);
+  EXPECT_TRUE(violations(clean).empty());
+  EXPECT_EQ(baseline_matched(clean), 2);
+  // A finding not in the baseline still fails the run.
+  const LintRun dirty = run_lint(fixture_args("seed_provenance.cpp") +
+                                 " spec_field_parity.cpp --baseline " + base);
+  EXPECT_EQ(dirty.exit_code, 1);
+  EXPECT_EQ(violations(dirty),
+            (std::set<std::tuple<std::string, int, std::string>>{
+                {"spec_field_parity.cpp", 20, "spec-field-parity"}}));
+  EXPECT_EQ(baseline_matched(dirty), 2);
+}
+
+TEST(HtpbLint, FixScaffoldsAreIdempotentAndCompile) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(HTPB_LINT_TEST_TMPDIR) / "fix_root";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  fs::copy_file(fs::path(HTPB_LINT_FIXTURE_DIR) / "unordered_iter.cpp",
+                root / "unordered_iter.cpp");
+  const std::string args = "--root " + root.string() +
+                           " --no-default-suppressions unordered_iter.cpp";
+  EXPECT_EQ(run_status(args), 1);          // both loops fire pre-fix
+  EXPECT_EQ(run_status(args + " --fix"), 0);
+  const LintRun after = run_lint(args);
+  EXPECT_EQ(after.exit_code, 0);           // scaffolds silence the findings
+  EXPECT_TRUE(violations(after).empty());
+  EXPECT_EQ(suppressed(after), 3);         // 1 original allow + 2 inserted
+  const std::string fixed_once = read_file(root / "unordered_iter.cpp");
+  EXPECT_NE(fixed_once.find("FIXME: justify"), std::string::npos);
+  EXPECT_EQ(run_status(args + " --fix"), 0);  // idempotent: nothing left
+  EXPECT_EQ(read_file(root / "unordered_iter.cpp"), fixed_once);
+  const int cc = std::system(("g++ -std=c++17 -fsyntax-only " +
+                              (root / "unordered_iter.cpp").string() +
+                              " >/dev/null 2>&1")
+                                 .c_str());
+  EXPECT_EQ(cc, 0);  // the scaffolded file still compiles
 }
 
 /// The gate CI enforces: the real tree, with the checked-in suppression

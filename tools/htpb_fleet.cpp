@@ -134,6 +134,7 @@ std::string find_htpb_run(const std::string& flag_value) {
 
 double now_seconds() {
   using clock = std::chrono::steady_clock;
+  // htpb-lint: allow(nondet-call) campaign duration for progress logging only
   return std::chrono::duration<double>(clock::now().time_since_epoch())
       .count();
 }

@@ -2,8 +2,10 @@
 //
 //   htpb_lint [options] [paths...]
 //
-// Scans C++ sources (default: src/ tools/ bench/ under --root) for
-// violations of the repo's determinism contract: results must be
+// Whole-program pass: scans C++ sources (default: src/ tools/ bench/
+// tests/ examples/ under --root, minus the lint fixtures) into one
+// ProjectModel -- include graph, class registry with cross-TU serializer
+// bodies -- and runs the determinism contract over it: results must be
 // bit-identical across thread counts, fleet split/merge, and snapshot
 // round-trips. See tools/lint/rules.hpp for the rule table and the
 // suppression syntax, and docs/ARCHITECTURE.md §12 for the policy.
@@ -15,6 +17,19 @@
 //   --suppressions FILE     extra suppression file (repeatable)
 //   --no-default-suppressions
 //                           ignore tools/htpb_lint_suppressions.txt
+//   --layers FILE           layer DAG for layer-violation/layer-cycle
+//                           (default: tools/lint_layers.txt under --root
+//                           when present; absent = layering skipped)
+//   --cache-dir DIR         incremental cache: per-file summary shards
+//                           keyed by content hash; a warm run replays
+//                           the exact summaries a cold run builds, so
+//                           reports are byte-identical either way
+//   --baseline FILE         a previous --json report; findings listed
+//                           there are silenced (counted separately) and
+//                           only NEW findings fail the run
+//   --fix                   insert suppression scaffolds (json-exempt /
+//                           snapshot-exempt / allow) with FIXME reasons
+//                           for a human to fill in; idempotent
 //   --list-rules            print the rule table and exit
 //
 // Exit status: 0 = clean, 1 = unsuppressed violations, 2 = bad usage,
@@ -24,11 +39,16 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/json.hpp"
+#include "lint/fix.hpp"
+#include "lint/graph.hpp"
+#include "lint/project_model.hpp"
 #include "lint/rules.hpp"
 
 namespace {
@@ -40,7 +60,9 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--root DIR] [--json PATH|-] [--suppressions FILE ...]\n"
-      "           [--no-default-suppressions] [--list-rules] [paths...]\n",
+      "           [--no-default-suppressions] [--layers FILE]\n"
+      "           [--cache-dir DIR] [--baseline FILE] [--fix]\n"
+      "           [--list-rules] [paths...]\n",
       argv0);
   return 2;
 }
@@ -66,11 +88,28 @@ std::string rel_path(const fs::path& root, const fs::path& p) {
   return (ec ? p : rel).generic_string();
 }
 
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// The lint fixture files are deliberate rule violations; scanning them
+/// as part of the tree would defeat their purpose.
+bool fixture_path(const std::string& rel) {
+  return rel.rfind("tests/lint/fixtures/", 0) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::string json_path;
+  std::string layers_path;
+  std::string cache_dir;
+  std::string baseline_path;
+  bool fix_mode = false;
   std::vector<std::string> suppression_files;
   bool default_suppressions = true;
   std::vector<std::string> paths;
@@ -93,9 +132,17 @@ int main(int argc, char** argv) {
       suppression_files.emplace_back(next_arg(i, arg));
     } else if (std::strcmp(arg, "--no-default-suppressions") == 0) {
       default_suppressions = false;
+    } else if (std::strcmp(arg, "--layers") == 0) {
+      layers_path = next_arg(i, arg);
+    } else if (std::strcmp(arg, "--cache-dir") == 0) {
+      cache_dir = next_arg(i, arg);
+    } else if (std::strcmp(arg, "--baseline") == 0) {
+      baseline_path = next_arg(i, arg);
+    } else if (std::strcmp(arg, "--fix") == 0) {
+      fix_mode = true;
     } else if (std::strcmp(arg, "--list-rules") == 0) {
       for (const htpb::lint::RuleInfo& r : htpb::lint::rules()) {
-        std::printf("%-18s %s\n", r.id, r.summary);
+        std::printf("%-22s %s\n", r.id, r.summary);
       }
       return 0;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -108,7 +155,8 @@ int main(int argc, char** argv) {
       paths.emplace_back(arg);
     }
   }
-  if (paths.empty()) paths = {"src", "tools", "bench"};
+  const bool default_paths = paths.empty();
+  if (default_paths) paths = {"src", "tools", "bench", "tests", "examples"};
 
   // Collect the file set, sorted so reports and exit codes never depend
   // on directory-walk order.
@@ -120,7 +168,8 @@ int main(int argc, char** argv) {
       files.push_back(full);
     } else if (fs::is_directory(full, ec)) {
       for (const auto& e : fs::recursive_directory_iterator(full, ec)) {
-        if (e.is_regular_file() && source_file(e.path())) {
+        if (e.is_regular_file() && source_file(e.path()) &&
+            !fixture_path(rel_path(root, e.path()))) {
           files.push_back(e.path());
         }
       }
@@ -129,6 +178,10 @@ int main(int argc, char** argv) {
                      full.string().c_str(), ec.message().c_str());
         return 2;
       }
+    } else if (default_paths && p != "src") {
+      // A default scan root that does not exist (a tree without bench/
+      // or examples/) is fine; an explicit argument that does not is not.
+      continue;
     } else {
       std::fprintf(stderr, "%s: no such file or directory: %s\n", argv[0],
                    full.string().c_str());
@@ -161,8 +214,38 @@ int main(int argc, char** argv) {
     suppressions.insert(suppressions.end(), parsed.begin(), parsed.end());
   }
 
-  std::vector<htpb::lint::FileModel> models;
-  models.reserve(files.size());
+  // Layer DAG: explicit flag, or the checked-in default when present.
+  htpb::lint::LayerConfig layers;
+  if (layers_path.empty()) {
+    const fs::path def = root / "tools" / "lint_layers.txt";
+    std::error_code ec;
+    if (fs::is_regular_file(def, ec)) layers_path = def.generic_string();
+  }
+  if (!layers_path.empty()) {
+    bool ok = false;
+    const std::string body = slurp(layers_path, ok);
+    if (!ok) {
+      std::fprintf(stderr, "%s: cannot read layers file %s\n", argv[0],
+                   layers_path.c_str());
+      return 2;
+    }
+    layers = htpb::lint::parse_layers(layers_path, body, errors);
+  }
+
+  // Build the project model, through the cache when one is configured.
+  if (!cache_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(cache_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "%s: cannot create cache dir %s: %s\n", argv[0],
+                   cache_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+  htpb::lint::ProjectModel pm;
+  pm.files.reserve(files.size());
+  int cache_hits = 0;
+  int cache_misses = 0;
   for (const fs::path& f : files) {
     bool ok = false;
     const std::string body = slurp(f, ok);
@@ -171,12 +254,96 @@ int main(int argc, char** argv) {
                    f.string().c_str());
       return 2;
     }
-    models.push_back(
-        htpb::lint::build_model(rel_path(root, f), htpb::lint::lex(body)));
+    const std::string rel = rel_path(root, f);
+    fs::path shard;
+    if (!cache_dir.empty()) {
+      shard = fs::path(cache_dir) /
+              (hex16(htpb::lint::summary_cache_key(rel, body)) + ".json");
+      bool shard_ok = false;
+      const std::string shard_body = slurp(shard, shard_ok);
+      htpb::lint::FileSummary cached;
+      if (shard_ok &&
+          htpb::lint::summary_from_json(shard_body, rel, cached)) {
+        pm.files.push_back(std::move(cached));
+        ++cache_hits;
+        continue;
+      }
+      ++cache_misses;
+    }
+    htpb::lint::FileSummary s = htpb::lint::summarize(rel, body);
+    if (!cache_dir.empty()) {
+      std::ofstream out(shard, std::ios::binary | std::ios::trunc);
+      if (out.good()) out << htpb::lint::summary_to_json(s) << '\n';
+    }
+    pm.files.push_back(std::move(s));
   }
 
-  htpb::lint::LintResult result = htpb::lint::run_lint(models, suppressions);
+  htpb::lint::LintOptions opts;
+  if (layers.loaded) opts.layers = &layers;
+  htpb::lint::LintResult result =
+      htpb::lint::run_lint(pm, suppressions, opts);
   result.errors.insert(result.errors.end(), errors.begin(), errors.end());
+  std::sort(result.errors.begin(), result.errors.end());
+
+  // Baseline: silence findings already present in a previous report;
+  // only new ones remain. Matching is by (file, rule, message) -- line
+  // numbers shift too easily under unrelated edits.
+  int baseline_matched = 0;
+  if (!baseline_path.empty()) {
+    std::map<std::string, int> known;
+    try {
+      const Value base = htpb::json::parse_file(baseline_path);
+      const Value* viols = base.as_object().find("violations");
+      if (viols == nullptr) {
+        throw std::runtime_error("no \"violations\" array");
+      }
+      for (const Value& v : viols->as_array()) {
+        const auto& o = v.as_object();
+        const auto field = [&](const char* key) -> const std::string& {
+          const Value* f = o.find(key);
+          if (f == nullptr) {
+            throw std::runtime_error(std::string("violation without \"") +
+                                     key + "\"");
+          }
+          return f->as_string();
+        };
+        known[field("file") + "\x1f" + field("rule") + "\x1f" +
+              field("message")] += 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: cannot parse baseline %s: %s\n", argv[0],
+                   baseline_path.c_str(), e.what());
+      return 2;
+    }
+    std::vector<htpb::lint::Violation> fresh;
+    for (htpb::lint::Violation& v : result.violations) {
+      int& n = known[v.file + "\x1f" + v.rule + "\x1f" + v.message];
+      if (n > 0) {
+        --n;
+        ++baseline_matched;
+      } else {
+        fresh.push_back(std::move(v));
+      }
+    }
+    result.violations = std::move(fresh);
+  }
+
+  if (fix_mode) {
+    const htpb::lint::FixResult fixed =
+        htpb::lint::apply_fixes(root, result.violations);
+    for (const std::string& e : fixed.errors) {
+      std::fprintf(stderr, "%s: error: %s\n", argv[0], e.c_str());
+    }
+    for (const std::string& e : result.errors) {
+      std::fprintf(stderr, "%s: error: %s\n", argv[0], e.c_str());
+    }
+    std::fprintf(stderr,
+                 "%s: --fix inserted %d suppression scaffold%s in %d "
+                 "file%s; fill in the FIXME reasons\n",
+                 argv[0], fixed.insertions, fixed.insertions == 1 ? "" : "s",
+                 fixed.files_changed, fixed.files_changed == 1 ? "" : "s");
+    return !result.errors.empty() || !fixed.errors.empty() ? 2 : 0;
+  }
 
   for (const htpb::lint::Violation& v : result.violations) {
     std::printf("%s:%d: [%s] %s\n  hint: %s\n", v.file.c_str(), v.line,
@@ -186,17 +353,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: error: %s\n", argv[0], e.c_str());
   }
   std::fprintf(stderr,
-               "%s: %d file%s scanned, %zu violation%s, %d suppressed\n",
+               "%s: %d file%s scanned, %zu violation%s, %d suppressed, "
+               "%d baseline\n",
                argv[0], result.files_scanned,
                result.files_scanned == 1 ? "" : "s",
                result.violations.size(),
-               result.violations.size() == 1 ? "" : "s", result.suppressed);
+               result.violations.size() == 1 ? "" : "s", result.suppressed,
+               baseline_matched);
+  if (!cache_dir.empty()) {
+    std::fprintf(stderr, "%s: cache: %d hit%s, %d miss%s\n", argv[0],
+                 cache_hits, cache_hits == 1 ? "" : "s", cache_misses,
+                 cache_misses == 1 ? "" : "es");
+  }
 
   if (!json_path.empty()) {
     htpb::json::Object report;
     report["files_scanned"] =
         Value(static_cast<long long>(result.files_scanned));
     report["suppressed"] = Value(static_cast<long long>(result.suppressed));
+    report["baseline_matched"] = Value(baseline_matched);
     htpb::json::Array viols;
     for (const htpb::lint::Violation& v : result.violations) {
       htpb::json::Object o;

@@ -1,0 +1,98 @@
+#include "lint/fix.hpp"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace htpb::lint {
+
+namespace {
+
+constexpr const char* kReason = "FIXME: justify (inserted by htpb_lint --fix)";
+
+/// What to insert above one source line.
+struct LineFix {
+  std::set<std::string> allow_rules;
+  bool snapshot_exempt = false;
+  bool json_exempt = false;
+};
+
+std::string indent_of(const std::string& line) {
+  const std::size_t at = line.find_first_not_of(" \t");
+  return at == std::string::npos ? "" : line.substr(0, at);
+}
+
+}  // namespace
+
+FixResult apply_fixes(const std::filesystem::path& root,
+                      const std::vector<Violation>& violations) {
+  FixResult result;
+
+  std::map<std::string, std::map<int, LineFix>> by_file;
+  for (const Violation& v : violations) {
+    if (v.rule == "layer-violation" || v.rule == "layer-cycle") continue;
+    LineFix& fix = by_file[v.file][v.line];
+    if (v.rule == "snapshot-complete") {
+      fix.snapshot_exempt = true;
+    } else if (v.rule == "spec-field-parity") {
+      fix.json_exempt = true;
+    } else {
+      fix.allow_rules.insert(v.rule);
+    }
+  }
+
+  for (const auto& [file, fixes] : by_file) {
+    const std::filesystem::path full = root / file;
+    std::ifstream in(full, std::ios::binary);
+    if (!in.good()) {
+      result.errors.push_back("--fix: cannot read " + file);
+      continue;
+    }
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(std::move(line));
+    in.close();
+
+    int inserted = 0;
+    // Descending line order keeps earlier insertions from shifting the
+    // line numbers of later ones.
+    for (auto it = fixes.rbegin(); it != fixes.rend(); ++it) {
+      const int lineno = it->first;
+      if (lineno < 1 || lineno > static_cast<int>(lines.size())) continue;
+      const std::string indent = indent_of(lines[lineno - 1]);
+      std::vector<std::string> inserts;
+      if (!it->second.allow_rules.empty()) {
+        std::string ids;
+        for (const std::string& r : it->second.allow_rules) {
+          if (!ids.empty()) ids += ", ";
+          ids += r;
+        }
+        inserts.push_back(indent + "// htpb-lint: allow(" + ids + ") " +
+                          kReason);
+      }
+      if (it->second.snapshot_exempt) {
+        inserts.push_back(indent + "// snapshot-exempt: " + kReason);
+      }
+      if (it->second.json_exempt) {
+        inserts.push_back(indent + "// json-exempt: " + kReason);
+      }
+      lines.insert(lines.begin() + (lineno - 1), inserts.begin(),
+                   inserts.end());
+      inserted += static_cast<int>(inserts.size());
+    }
+    if (inserted == 0) continue;
+
+    std::ofstream outf(full, std::ios::binary | std::ios::trunc);
+    if (!outf.good()) {
+      result.errors.push_back("--fix: cannot write " + file);
+      continue;
+    }
+    for (const std::string& l : lines) outf << l << '\n';
+    result.insertions += inserted;
+    ++result.files_changed;
+  }
+  return result;
+}
+
+}  // namespace htpb::lint

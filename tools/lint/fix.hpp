@@ -1,0 +1,35 @@
+// --fix: mechanical suppression scaffolding.
+//
+// For every finding, inserts the matching suppression marker on the line
+// above, indented like the flagged line, with a FIXME reason a human
+// must replace during review:
+//   snapshot-complete  -> a snapshot-exempt marker with a FIXME reason
+//   spec-field-parity  -> a json-exempt marker with a FIXME reason
+//   everything else    -> an allow(rule, ...) marker with a FIXME reason
+// Several rules firing on one line coalesce into one allow(...). The
+// pass is idempotent by construction: after one application every
+// finding is suppressed, so a second run has nothing to insert. It
+// never deletes or rewrites existing code lines.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace htpb::lint {
+
+struct FixResult {
+  int insertions = 0;
+  int files_changed = 0;
+  std::vector<std::string> errors;  // unreadable/unwritable files
+};
+
+/// Applies scaffolds for `violations` to the files under `root`
+/// (violation paths are repo-relative). Layer findings are skipped:
+/// an architecture violation has no mechanical fix.
+FixResult apply_fixes(const std::filesystem::path& root,
+                      const std::vector<Violation>& violations);
+
+}  // namespace htpb::lint

@@ -46,7 +46,30 @@ LexedFile lex(const std::string& text) {
     }
 
     // Preprocessor line: skip to EOL, honoring backslash continuations.
+    // `#include "..."` directives are recorded on the way past -- they
+    // are the edges of the layering / include-cycle graph.
     if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::size_t j = i;
+      while (j < n) {
+        if (text[j] == '\\' && j + 1 < n && text[j + 1] == '\n') {
+          j += 2;
+          continue;
+        }
+        if (text[j] == '\n') break;
+        ++j;
+      }
+      const std::string directive = text.substr(i, j - i);
+      if (directive.find("include") != std::string::npos) {
+        const std::size_t open = directive.find('"');
+        const std::size_t close =
+            open == std::string::npos ? std::string::npos
+                                      : directive.find('"', open + 1);
+        if (close != std::string::npos) {
+          out.includes.push_back(
+              {start_line, directive.substr(open + 1, close - open - 1)});
+        }
+      }
       while (i < n) {
         if (text[i] == '\\' && peek(1) == '\n') {
           i += 2;
@@ -123,11 +146,17 @@ LexedFile lex(const std::string& text) {
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t j = i;
       // Good enough for pattern matching: digits, dots, exponent signs,
-      // hex letters, digit separators, suffixes.
-      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
-                       ((text[j] == '+' || text[j] == '-') && j > i &&
-                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
-                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+      // hex letters, digit separators, suffixes. The digit separator
+      // must be eaten HERE: treating the ' of 300'000 as a char-literal
+      // open quote swallows everything up to the next apostrophe in the
+      // file and silently hides whole functions from the rules.
+      while (j < n &&
+             (ident_char(text[j]) || text[j] == '.' ||
+              (text[j] == '\'' && j + 1 < n &&
+               std::isalnum(static_cast<unsigned char>(text[j + 1]))) ||
+              ((text[j] == '+' || text[j] == '-') && j > i &&
+               (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                text[j - 1] == 'p' || text[j - 1] == 'P')))) {
         ++j;
       }
       out.tokens.push_back({TokKind::kNumber, text.substr(i, j - i), line});

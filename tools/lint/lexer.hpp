@@ -23,6 +23,14 @@ struct Token {
   int line = 1;
 };
 
+/// One `#include "..."` directive. Only quote-form includes are kept:
+/// they are the project-internal edges the layering and cycle rules
+/// reason about; angle-bracket system headers never participate.
+struct Include {
+  int line = 1;
+  std::string target;  // the text between the quotes, e.g. "common/json.hpp"
+};
+
 struct LexedFile {
   std::vector<Token> tokens;
   /// Comment text per line, concatenated when a line holds several.
@@ -30,6 +38,7 @@ struct LexedFile {
   /// inline-suppression and snapshot-exempt markers, which are
   /// comment-level syntax invisible to the tokens.
   std::map<int, std::string> comments;
+  std::vector<Include> includes;
   int last_line = 1;
 };
 

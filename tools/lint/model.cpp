@@ -1,6 +1,7 @@
 #include "lint/model.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 namespace htpb::lint {
 
@@ -15,6 +16,12 @@ const std::set<std::string>& unordered_keywords() {
 
 bool is_ident(const Token& t, const char* text) {
   return t.kind == TokKind::kIdent && t.text == text;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::string suf(suffix);
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
 }
 
 /// Names declared with an unordered container type: members, locals,
@@ -65,8 +72,18 @@ std::set<std::string> collect_unordered_names(const std::vector<Token>& ts) {
   return names;
 }
 
-std::vector<RangeFor> collect_range_fors(const std::vector<Token>& ts) {
-  std::vector<RangeFor> out;
+/// Range-for geometry: the head span, the ':' position, and the body
+/// extent (brace block or single statement) so accumulation inside the
+/// loop can be attributed to the iterated container.
+struct RangeForSpan {
+  RangeFor rf;
+  std::size_t body_begin = 0;  // token index just past ')' or '{'
+  std::size_t body_end = 0;    // one past the last body token
+};
+
+std::vector<RangeForSpan> collect_range_for_spans(
+    const std::vector<Token>& ts) {
+  std::vector<RangeForSpan> out;
   for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
     if (!is_ident(ts[i], "for") || ts[i + 1].text != "(") continue;
     // Find the range-for ':' at paren depth 1; a ';' there first means a
@@ -90,8 +107,8 @@ std::vector<RangeFor> collect_range_fors(const std::vector<Token>& ts) {
       }
     }
     if (colon == 0 || close == 0) continue;
-    RangeFor rf;
-    rf.line = ts[i].line;
+    RangeForSpan span;
+    span.rf.line = ts[i].line;
     // Accept only a plain identifier / member-access chain; anything
     // else (calls, indexing) is not an iteration over the container
     // object itself.
@@ -106,45 +123,278 @@ std::vector<RangeFor> collect_range_fors(const std::vector<Token>& ts) {
         break;
       }
     }
-    if (chain && !last_ident.empty()) rf.target = last_ident;
-    out.push_back(rf);
+    if (chain && !last_ident.empty()) span.rf.target = last_ident;
+
+    // Body extent: `{ ... }` block or the single statement up to ';'.
+    std::size_t b = close + 1;
+    if (b < ts.size() && ts[b].text == "{") {
+      int depth = 0;
+      std::size_t e = b;
+      for (; e < ts.size(); ++e) {
+        if (ts[e].text == "{") ++depth;
+        if (ts[e].text == "}" && --depth == 0) break;
+      }
+      span.body_begin = b + 1;
+      span.body_end = e;
+    } else {
+      std::size_t e = b;
+      while (e < ts.size() && ts[e].text != ";") ++e;
+      span.body_begin = b;
+      span.body_end = e;
+    }
+    out.push_back(std::move(span));
+  }
+  return out;
+}
+
+/// Rng / mt19937 constructions with an argument list. Function
+/// declarations are told apart from constructions by their parameter
+/// lists: two adjacent identifier tokens ("uint64_t seed") never occur in
+/// an expression.
+std::vector<RngSite> collect_rng_sites(const std::vector<Token>& ts) {
+  static const std::set<std::string> rng_types = {"Rng", "mt19937",
+                                                  "mt19937_64"};
+  std::vector<RngSite> out;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].kind != TokKind::kIdent || !rng_types.count(ts[i].text)) {
+      continue;
+    }
+    if (i > 0) {
+      const std::string& p = ts[i - 1].text;
+      // Type in a declaration head we never treat as a construction:
+      // `class Rng`, `explicit Rng(...)` (the ctor itself), `~Rng`,
+      // `x.rng()`-style member access, `template <typename Rng>`.
+      if (p == "class" || p == "struct" || p == "explicit" || p == "~" ||
+          p == "." || p == "->" || p == "typename" || p == "<") {
+        continue;
+      }
+    }
+    std::size_t j = i + 1;
+    if (j < ts.size() && ts[j].kind == TokKind::kIdent) ++j;  // Rng name(...)
+    if (j >= ts.size() || (ts[j].text != "(" && ts[j].text != "{")) continue;
+    // `Rng f()` with empty parens is the most-vexing-parse ambiguity: a
+    // function declaration, or a default construction whose seed is the
+    // documented constant. Neither is a provenance finding.
+    if (j + 1 < ts.size() &&
+        (ts[j + 1].text == ")" || ts[j + 1].text == "}")) {
+      continue;
+    }
+    const std::string open = ts[j].text;
+    const std::string shut = open == "(" ? ")" : "}";
+    int depth = 0;
+    std::vector<const Token*> args;
+    std::size_t k = j;
+    for (; k < ts.size(); ++k) {
+      if (ts[k].text == open) ++depth;
+      if (ts[k].text == shut && --depth == 0) break;
+      if (k > j) args.push_back(&ts[k]);
+    }
+    if (k >= ts.size()) continue;  // unbalanced; degrade to no finding
+
+    // Adjacent identifiers => a parameter list => a function declaration.
+    bool declaration = false;
+    for (std::size_t a = 0; a + 1 < args.size(); ++a) {
+      if (args[a]->kind == TokKind::kIdent &&
+          args[a + 1]->kind == TokKind::kIdent) {
+        declaration = true;
+        break;
+      }
+    }
+    if (declaration) continue;
+
+    RngSite site;
+    site.line = ts[i].line;
+    for (const Token* a : args) {
+      if (!site.args.empty()) site.args += ' ';
+      site.args += a->text;
+      if (a->kind != TokKind::kIdent) continue;
+      std::string lower = a->text;
+      std::transform(lower.begin(), lower.end(), lower.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (lower.find("seed") != std::string::npos ||
+          lower.find("rng") != std::string::npos) {
+        site.seed_derived = true;
+      }
+    }
+    if (site.args.size() > 48) site.args = site.args.substr(0, 45) + "...";
+    out.push_back(std::move(site));
+  }
+  return out;
+}
+
+std::vector<ReduceSite> collect_reduce_sites(
+    const std::vector<Token>& ts, const std::vector<RangeForSpan>& fors) {
+  std::set<std::tuple<int, std::string, std::string>> seen;
+  std::vector<ReduceSite> out;
+  const auto add = [&](ReduceSite site) {
+    if (seen.emplace(site.line, site.target, site.op).second) {
+      out.push_back(std::move(site));
+    }
+  };
+  // `+=` inside a range-for body ("+" and "=" lex separately). Nested
+  // loops attribute inner accumulations to the outer loop too, which is
+  // correct: the outer iteration order still taints the sum. The
+  // accumulator is the identifier just left of the '+' (the last link of
+  // a member chain); a non-identifier target (arr[i] +=) stays empty and
+  // the rule cannot prove it floating-point, so it stays silent.
+  for (const RangeForSpan& span : fors) {
+    if (span.rf.target.empty()) continue;
+    for (std::size_t j = span.body_begin; j + 1 < span.body_end; ++j) {
+      if (ts[j].text != "+" || ts[j + 1].text != "=") continue;
+      ReduceSite site;
+      site.line = ts[j].line;
+      site.target = span.rf.target;
+      site.op = "+=";
+      if (j > span.body_begin && ts[j - 1].kind == TokKind::kIdent) {
+        site.acc = ts[j - 1].text;
+      }
+      add(std::move(site));
+    }
+  }
+  // std::accumulate / std::reduce over container.begin(). Floating-point
+  // evidence: a float literal among the arguments (the init argument
+  // fixes the accumulation type -- an int init sums in int, which is
+  // order-insensitive).
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (ts[i].kind != TokKind::kIdent ||
+        (ts[i].text != "accumulate" && ts[i].text != "reduce") ||
+        ts[i + 1].text != "(") {
+      continue;
+    }
+    // First argument of the form `X.begin(` / `X.cbegin(`.
+    if (!(i + 4 < ts.size() && ts[i + 2].kind == TokKind::kIdent &&
+          (ts[i + 3].text == "." || ts[i + 3].text == "->") &&
+          (is_ident(ts[i + 4], "begin") || is_ident(ts[i + 4], "cbegin")))) {
+      continue;
+    }
+    ReduceSite site;
+    site.line = ts[i].line;
+    site.target = ts[i + 2].text;
+    site.op = ts[i].text;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < ts.size(); ++j) {
+      if (ts[j].text == "(") ++depth;
+      if (ts[j].text == ")" && --depth == 0) break;
+      if (ts[j].kind == TokKind::kNumber) {
+        const std::string& num = ts[j].text;
+        const bool hex = num.rfind("0x", 0) == 0 || num.rfind("0X", 0) == 0;
+        if (num.find('.') != std::string::npos ||
+            (!hex && (num.find('f') != std::string::npos ||
+                      num.find('F') != std::string::npos))) {
+          site.float_evidence = true;
+        }
+      }
+    }
+    add(std::move(site));
   }
   return out;
 }
 
 // ---------------------------------------------------------------------
-// Scope scan: classes, members, snapshot-function bodies.
+// Scope scan: classes, members, serializer-function bodies.
+
+enum class Family { kSnapshot, kToJson, kFromJson };
 
 struct Scope {
-  enum Kind { kOther, kClass, kSnapshotFn };
+  enum Kind { kOther, kClass, kSink };
   Kind kind = kOther;
-  int class_idx = -1;          // kClass: index into model.classes
-  std::string snapshot_class;  // kSnapshotFn: class the body belongs to
+  int class_idx = -1;      // kClass: index into model.classes
+  Family family = Family::kSnapshot;  // kSink
+  std::string sink_class;             // kSink: class the body belongs to
 };
 
-bool stmt_has_snapshot_name(const std::vector<Token>& stmt, bool& save,
-                            bool& load) {
+bool stmt_has_fn_name(const std::vector<Token>& stmt, const char* name) {
   for (std::size_t i = 0; i + 1 < stmt.size(); ++i) {
-    if (stmt[i + 1].text != "(") continue;
-    if (is_ident(stmt[i], "save_state")) save = true;
-    if (is_ident(stmt[i], "load_state")) load = true;
+    if (stmt[i + 1].text == "(" && is_ident(stmt[i], name)) return true;
   }
-  return save || load;
+  return false;
 }
 
-/// True when `stmt` (a block head) is `... X::save_state ( ...` /
-/// `... X::load_state ( ...`; sets `cls` to X.
-bool is_out_of_class_snapshot_head(const std::vector<Token>& stmt,
-                                   std::string& cls) {
+/// True when `stmt` (a block head) is `... X::<fn> ( ...` for one of the
+/// serializer names; sets `cls` to X and `family` to the matching family.
+bool is_out_of_class_serializer_head(const std::vector<Token>& stmt,
+                                     std::string& cls, Family& family) {
   for (std::size_t i = 2; i + 1 < stmt.size(); ++i) {
     if (stmt[i + 1].text != "(") continue;
-    if (!is_ident(stmt[i], "save_state") && !is_ident(stmt[i], "load_state")) {
+    Family f;
+    if (is_ident(stmt[i], "save_state") || is_ident(stmt[i], "load_state")) {
+      f = Family::kSnapshot;
+    } else if (is_ident(stmt[i], "to_json")) {
+      f = Family::kToJson;
+    } else if (is_ident(stmt[i], "from_json")) {
+      f = Family::kFromJson;
+    } else {
       continue;
     }
     if (stmt[i - 1].text == "::" && stmt[i - 2].kind == TokKind::kIdent) {
       cls = stmt[i - 2].text;
+      family = f;
       return true;
     }
+  }
+  return false;
+}
+
+/// Class-type candidates the free-function serializer idiom should never
+/// bind to: the JSON plumbing types and fundamental-ish names.
+bool serializer_class_candidate(const std::string& name) {
+  static const std::set<std::string> excluded = {
+      "json",   "Value",  "Object", "Array", "ObjectReader", "string",
+      "string_view", "void", "bool", "int",  "auto",         "std"};
+  return !excluded.count(name) && !name.empty() &&
+         std::isupper(static_cast<unsigned char>(name[0]));
+}
+
+/// Free-function serializer head: a function whose name ends in
+/// "to_json" / "from_json". The subject class is recovered from the
+/// signature: to_json takes `const X&`; from_json returns X or mutates an
+/// `X&` out-parameter. Sets `cls`/`family`; false when no plausible class
+/// is found (the body is then an ordinary block).
+bool is_free_serializer_head(const std::vector<Token>& stmt, std::string& cls,
+                             Family& family) {
+  std::size_t fn = 0;
+  bool found = false;
+  for (std::size_t i = 0; i + 1 < stmt.size(); ++i) {
+    if (stmt[i].kind != TokKind::kIdent || stmt[i + 1].text != "(") continue;
+    if (ends_with(stmt[i].text, "to_json")) {
+      family = Family::kToJson;
+      fn = i;
+      found = true;
+      break;
+    }
+    if (ends_with(stmt[i].text, "from_json")) {
+      family = Family::kFromJson;
+      fn = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return false;
+  if (fn >= 1 && stmt[fn - 1].text == "::") return false;  // qualified form
+
+  // Return-type class for from_json: `SystemSpec system_from_json(...)`.
+  if (family == Family::kFromJson && fn >= 1 &&
+      stmt[fn - 1].kind == TokKind::kIdent &&
+      serializer_class_candidate(stmt[fn - 1].text)) {
+    cls = stmt[fn - 1].text;
+    return true;
+  }
+  // Parameter class: first `[const] X &` whose X is a plausible class
+  // (to_json's subject, or from_json's out-parameter).
+  int paren = 0;
+  std::string last_ident;
+  for (std::size_t i = fn + 1; i < stmt.size(); ++i) {
+    const Token& t = stmt[i];
+    if (t.text == "(") ++paren;
+    if (t.text == ")" && --paren == 0) break;
+    if (t.kind == TokKind::kIdent && !is_ident(t, "const")) {
+      last_ident = t.text;
+    }
+    if (t.text == "&" && serializer_class_candidate(last_ident)) {
+      cls = last_ident;
+      return true;
+    }
+    if (t.text == ",") last_ident.clear();
   }
   return false;
 }
@@ -320,26 +570,42 @@ FileModel build_model(std::string path, LexedFile lexed) {
   FileModel m;
   m.path = std::move(path);
   m.unordered_names = collect_unordered_names(lexed.tokens);
-  m.range_fors = collect_range_fors(lexed.tokens);
+  const std::vector<RangeForSpan> spans =
+      collect_range_for_spans(lexed.tokens);
+  m.range_fors.reserve(spans.size());
+  for (const RangeForSpan& s : spans) m.range_fors.push_back(s.rf);
+  m.rng_sites = collect_rng_sites(lexed.tokens);
+  m.reduce_sites = collect_reduce_sites(lexed.tokens, spans);
 
   const std::vector<Token>& ts = lexed.tokens;
   std::vector<Scope> stack{Scope{}};  // file scope
   std::vector<Token> stmt;
 
-  const auto snapshot_sink = [&]() -> std::set<std::string>* {
+  const auto sink_of = [&m](Family family,
+                            const std::string& cls) -> std::set<std::string>& {
+    switch (family) {
+      case Family::kToJson:
+        return m.bodies.to_json[cls];
+      case Family::kFromJson:
+        return m.bodies.from_json[cls];
+      case Family::kSnapshot:
+      default:
+        return m.bodies.snapshot[cls];
+    }
+  };
+
+  const auto active_sink = [&]() -> std::set<std::string>* {
     for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
-      if (it->kind != Scope::kSnapshotFn) continue;
-      for (ClassInfo& c : m.classes) {
-        if (c.name == it->snapshot_class) return &c.snapshot_idents;
+      if (it->kind == Scope::kSink) {
+        return &sink_of(it->family, it->sink_class);
       }
-      return &m.snapshot_body_idents[it->snapshot_class];
     }
     return nullptr;
   };
 
   for (std::size_t i = 0; i < ts.size(); ++i) {
     const Token& t = ts[i];
-    if (std::set<std::string>* sink = snapshot_sink();
+    if (std::set<std::string>* sink = active_sink();
         sink != nullptr && t.kind == TokKind::kIdent) {
       sink->insert(t.text);
     }
@@ -355,10 +621,9 @@ FileModel build_model(std::string path, LexedFile lexed) {
           m);
       std::string head_class = class_head_name(stmt);
       std::string impl_class;
-      bool save = false;
-      bool load = false;
-      if (parent.kind == Scope::kSnapshotFn) {
-        // Nested block / lambda inside a snapshot body: keep collecting.
+      Family family = Family::kSnapshot;
+      if (parent.kind == Scope::kSink) {
+        // Nested block / lambda inside a serializer body: keep collecting.
         s = parent;
       } else if (!head_class.empty()) {
         s.kind = Scope::kClass;
@@ -367,30 +632,43 @@ FileModel build_model(std::string path, LexedFile lexed) {
         c.name = head_class;
         c.line = t.line;
         m.classes.push_back(std::move(c));
-      } else if (is_out_of_class_snapshot_head(stmt, impl_class)) {
-        s.kind = Scope::kSnapshotFn;
-        s.snapshot_class = impl_class;
-      } else if (parent.kind == Scope::kClass &&
-                 stmt_has_snapshot_name(stmt, save, load)) {
-        // Inline save_state/load_state definition.
-        s.kind = Scope::kSnapshotFn;
-        s.snapshot_class = m.classes[static_cast<std::size_t>(
-                                         parent.class_idx)].name;
+      } else if (is_out_of_class_serializer_head(stmt, impl_class, family)) {
+        s.kind = Scope::kSink;
+        s.family = family;
+        s.sink_class = impl_class;
+      } else if (parent.kind == Scope::kClass) {
         ClassInfo& c = m.classes[static_cast<std::size_t>(parent.class_idx)];
-        c.declares_save |= save;
-        c.declares_load |= load;
-      } else if (parent.kind == Scope::kClass &&
-                 is_member_brace_init_head(stmt)) {
-        // Default member initializer: `int x_{0};` -- record the member
-        // now, treat the braces as an inert block.
-        std::vector<Token> head = stmt;
-        if (head.back().text == "=") head.pop_back();
-        Member mem;
-        if (parse_member(head, mem)) {
-          mem.has_init = true;
-          m.classes[static_cast<std::size_t>(parent.class_idx)]
-              .members.push_back(std::move(mem));
+        const bool save = stmt_has_fn_name(stmt, "save_state");
+        const bool load = stmt_has_fn_name(stmt, "load_state");
+        if (save || load) {
+          // Inline save_state/load_state definition.
+          s.kind = Scope::kSink;
+          s.family = Family::kSnapshot;
+          s.sink_class = c.name;
+          c.declares_save |= save;
+          c.declares_load |= load;
+        } else if (stmt_has_fn_name(stmt, "to_json") ||
+                   stmt_has_fn_name(stmt, "from_json")) {
+          // Inline to_json/from_json member definition.
+          s.kind = Scope::kSink;
+          s.family = stmt_has_fn_name(stmt, "to_json") ? Family::kToJson
+                                                       : Family::kFromJson;
+          s.sink_class = c.name;
+        } else if (is_member_brace_init_head(stmt)) {
+          // Default member initializer: `int x_{0};` -- record the member
+          // now, treat the braces as an inert block.
+          std::vector<Token> head = stmt;
+          if (head.back().text == "=") head.pop_back();
+          Member mem;
+          if (parse_member(head, mem)) {
+            mem.has_init = true;
+            c.members.push_back(std::move(mem));
+          }
         }
+      } else if (is_free_serializer_head(stmt, impl_class, family)) {
+        s.kind = Scope::kSink;
+        s.family = family;
+        s.sink_class = impl_class;
       }
       stack.push_back(s);
       stmt.clear();
@@ -405,12 +683,13 @@ FileModel build_model(std::string path, LexedFile lexed) {
       if (stack.back().kind == Scope::kClass) {
         ClassInfo& c =
             m.classes[static_cast<std::size_t>(stack.back().class_idx)];
-        bool save = false;
-        bool load = false;
-        if (stmt_has_snapshot_name(stmt, save, load)) {
+        const bool save = stmt_has_fn_name(stmt, "save_state");
+        const bool load = stmt_has_fn_name(stmt, "load_state");
+        if (save || load) {
           c.declares_save |= save;
           c.declares_load |= load;
-        } else {
+        } else if (!stmt_has_fn_name(stmt, "to_json") &&
+                   !stmt_has_fn_name(stmt, "from_json")) {
           Member mem;
           if (parse_member(stmt, mem)) c.members.push_back(std::move(mem));
         }

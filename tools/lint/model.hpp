@@ -1,11 +1,13 @@
 // Structural model of one source file, extracted from the token stream.
 // This is the "parser" half of htpb_lint: a brace/paren-tracking scan
 // that recognizes exactly the shapes the determinism rules need --
-// class bodies and their data members, save_state/load_state bodies
-// (inline and out-of-class), declarations of unordered containers, and
-// range-for statements -- without a real C++ front end. Anything it
-// cannot classify it skips; the failure mode is a missed finding, never
-// a crash or a spurious parse error.
+// class bodies and their data members, serializer bodies (save_state/
+// load_state and to_json/from_json, inline, out-of-class and the repo's
+// `x_to_json(const X&)` / `X x_from_json(...)` free-function idiom),
+// declarations of unordered containers, range-for statements, Rng
+// construction sites and accumulation sites -- without a real C++ front
+// end. Anything it cannot classify it skips; the failure mode is a
+// missed finding, never a crash or a spurious parse error.
 #pragma once
 
 #include <map>
@@ -31,9 +33,6 @@ struct ClassInfo {
   std::vector<Member> members;
   bool declares_save = false;
   bool declares_load = false;
-  /// Identifier tokens appearing inside inline save_state/load_state
-  /// bodies (and anything they mention), for the completeness rule.
-  std::set<std::string> snapshot_idents;
 };
 
 struct RangeFor {
@@ -45,13 +44,46 @@ struct RangeFor {
   std::string target;
 };
 
+/// An Rng / std::mt19937 construction with arguments. The seed-provenance
+/// rule flags sites whose argument expression is not visibly derived from
+/// a seed (no identifier containing "seed" or "rng" appears in it).
+struct RngSite {
+  int line = 0;
+  bool seed_derived = false;
+  std::string args;  // flattened argument text, for the message
+};
+
+/// An accumulation tied to container iteration: a `+=` inside a range-for
+/// body, or std::accumulate/std::reduce over container.begin(). The
+/// float-unordered-reduce rule fires when `target` names an unordered
+/// container AND the accumulation is provably floating-point (integer
+/// sums are order-insensitive): for `+=`, `acc` resolves to a
+/// float/double-declared name; for accumulate/reduce, the init argument
+/// is a floating literal (`float_evidence` -- accumulate over an int
+/// init sums in int, which is deterministic in any order).
+struct ReduceSite {
+  int line = 0;
+  std::string target;
+  std::string op;   // "+=", "accumulate" or "reduce"
+  std::string acc;  // accumulator ident for "+="; empty otherwise
+  bool float_evidence = false;
+};
+
+/// Identifier sets of serializer implementations, keyed by class name.
+/// "snapshot" merges save_state+load_state (completeness is checked over
+/// the union); to_json/from_json stay separate so the parity rule can say
+/// which side dropped the member.
+struct SerializerBodies {
+  std::map<std::string, std::set<std::string>> snapshot;
+  std::map<std::string, std::set<std::string>> to_json;
+  std::map<std::string, std::set<std::string>> from_json;
+};
+
 struct FileModel {
   std::string path;  // repo-relative, '/'-separated
   LexedFile lexed;
   std::vector<ClassInfo> classes;
-  /// Identifier idents inside out-of-class `X::save_state` /
-  /// `X::load_state` definitions, keyed by class name X.
-  std::map<std::string, std::set<std::string>> snapshot_body_idents;
+  SerializerBodies bodies;
   /// Members initialized in a constructor mem-init-list, keyed by class
   /// name. The uninit-pod-member rule treats these as initialized.
   std::map<std::string, std::set<std::string>> ctor_inits;
@@ -59,6 +91,8 @@ struct FileModel {
   /// (members, locals, parameters; aliases resolved one level).
   std::set<std::string> unordered_names;
   std::vector<RangeFor> range_fors;
+  std::vector<RngSite> rng_sites;
+  std::vector<ReduceSite> reduce_sites;
 };
 
 /// Builds the model for one already-lexed file.

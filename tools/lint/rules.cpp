@@ -1,7 +1,6 @@
 #include "lint/rules.hpp"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 
 namespace htpb::lint {
@@ -9,8 +8,6 @@ namespace htpb::lint {
 namespace {
 
 constexpr const char* kUnorderedIter = "unordered-iter";
-constexpr const char* kNondetCall = "nondet-call";
-constexpr const char* kPtrKey = "ptr-key-container";
 constexpr const char* kUninitPod = "uninit-pod-member";
 constexpr const char* kSnapshotComplete = "snapshot-complete";
 
@@ -29,10 +26,6 @@ const std::set<std::string>& fundamental_types() {
   return t;
 }
 
-bool is_ident(const Token& t, const char* text) {
-  return t.kind == TokKind::kIdent && t.text == text;
-}
-
 std::string trim(const std::string& s) {
   std::size_t b = s.find_first_not_of(" \t");
   if (b == std::string::npos) return "";
@@ -40,63 +33,7 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
-/// Inline markers of one file, pre-validated: a malformed marker is a
-/// configuration error even when no finding would have consulted it.
-struct InlineMarkers {
-  std::map<int, std::set<std::string>> allows;  // line -> rule ids
-  std::set<int> exempt_lines;                   // snapshot-exempt lines
-};
-
-InlineMarkers scan_markers(const FileModel& m,
-                           std::vector<std::string>& errors) {
-  InlineMarkers out;
-  for (const auto& [line, text] : m.lexed.comments) {
-    const std::string where = m.path + ":" + std::to_string(line);
-    if (const std::size_t at = text.find("htpb-lint:");
-        at != std::string::npos) {
-      const std::string rest = trim(text.substr(at + 10));
-      const bool ok = rest.rfind("allow(", 0) == 0;
-      const std::size_t close = ok ? rest.find(')') : std::string::npos;
-      if (!ok || close == std::string::npos) {
-        errors.push_back(where + ": malformed htpb-lint marker; expected "
-                                 "\"htpb-lint: allow(rule-id) reason\"");
-        continue;
-      }
-      std::set<std::string> ids;
-      std::stringstream list(rest.substr(6, close - 6));
-      std::string id;
-      while (std::getline(list, id, ',')) {
-        id = trim(id);
-        bool known = false;
-        for (const RuleInfo& r : rules()) known |= id == r.id;
-        if (!known) {
-          errors.push_back(where + ": unknown rule id \"" + id +
-                           "\" in htpb-lint: allow(...)");
-        } else {
-          ids.insert(id);
-        }
-      }
-      if (trim(rest.substr(close + 1)).empty()) {
-        errors.push_back(where +
-                         ": htpb-lint: allow(...) requires a reason");
-        continue;
-      }
-      if (!ids.empty()) out.allows[line] = std::move(ids);
-    }
-    if (const std::size_t at = text.find("snapshot-exempt:");
-        at != std::string::npos) {
-      if (trim(text.substr(at + 16)).empty()) {
-        errors.push_back(where + ": snapshot-exempt requires a reason");
-      } else {
-        out.exempt_lines.insert(line);
-      }
-    }
-  }
-  return out;
-}
-
-bool inline_allowed(const InlineMarkers& mk, int line,
-                    const std::string& rule) {
+bool inline_allowed(const MarkerSet& mk, int line, const std::string& rule) {
   for (const int l : {line, line - 1}) {
     const auto it = mk.allows.find(l);
     if (it != mk.allows.end() && it->second.count(rule)) return true;
@@ -104,8 +41,8 @@ bool inline_allowed(const InlineMarkers& mk, int line,
   return false;
 }
 
-bool member_exempt(const InlineMarkers& mk, int line) {
-  return mk.exempt_lines.count(line) || mk.exempt_lines.count(line - 1);
+bool line_marked(const std::set<int>& lines, int line) {
+  return lines.count(line) > 0 || lines.count(line - 1) > 0;
 }
 
 bool file_suppressed(const std::vector<FileSuppression>& sups,
@@ -128,116 +65,32 @@ const char* rule_hint(const std::string& id) {
   return "";
 }
 
-void emit(std::vector<Violation>& out, const FileModel& m, int line,
+void emit(std::vector<Violation>& out, const std::string& file, int line,
           const char* rule, std::string message) {
-  out.push_back(
-      Violation{m.path, line, rule, std::move(message), rule_hint(rule)});
+  out.push_back(Violation{file, line, rule, std::move(message),
+                          rule_hint(rule)});
 }
 
 // ---------------------------------------------------------------------
 
-void check_unordered_iter(const FileModel& m,
+void check_unordered_iter(const FileSummary& f,
                           const std::set<std::string>& names,
                           std::vector<Violation>& out) {
-  for (const RangeFor& rf : m.range_fors) {
+  for (const RangeFor& rf : f.range_fors) {
     if (rf.target.empty() || !names.count(rf.target)) continue;
-    emit(out, m, rf.line, kUnorderedIter,
+    emit(out, f.path, rf.line, kUnorderedIter,
          "range-for over unordered container '" + rf.target + "'");
   }
 }
 
-void check_nondet_calls(const FileModel& m, std::vector<Violation>& out) {
-  const std::vector<Token>& ts = m.lexed.tokens;
-  const auto prev_blocks = [&](std::size_t i) {
-    // Member access means some other API's method that merely shares the
-    // libc name (rng.random(), cache.lru_clock() via .clock()); a
-    // non-std qualifier means the same for class-scoped names.
-    if (i == 0) return false;
-    const std::string& p = ts[i - 1].text;
-    if (p == "." || p == "->") return true;
-    if (p == "::") return !(i >= 2 && is_ident(ts[i - 2], "std"));
-    return false;
-  };
-  static const std::set<std::string> rand_like = {
-      "rand", "srand", "rand_r", "drand48", "lrand48", "random"};
-  static const std::set<std::string> time_like = {
-      "time", "clock", "gettimeofday", "clock_gettime"};
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    if (ts[i].kind != TokKind::kIdent) continue;
-    const std::string& id = ts[i].text;
-    if (id == "random_device") {
-      emit(out, m, ts[i].line, kNondetCall,
-           "std::random_device is a nondeterministic source");
-      continue;
-    }
-    const bool call = i + 1 < ts.size() && ts[i + 1].text == "(";
-    if (!call) continue;
-    // `now` is checked before the qualifier gate: it is ALWAYS
-    // clock-qualified (steady_clock::now, clock_type::now, ...).
-    if (id == "now" && i > 0 && ts[i - 1].text == "::") {
-      const std::string qual =
-          i >= 2 && ts[i - 2].kind == TokKind::kIdent ? ts[i - 2].text
-                                                      : "clock";
-      emit(out, m, ts[i].line, kNondetCall,
-           "'" + qual + "::now()' reads wall-clock state");
-      continue;
-    }
-    if (prev_blocks(i)) continue;
-    if (rand_like.count(id)) {
-      emit(out, m, ts[i].line, kNondetCall,
-           "call to '" + id + "()' bypasses the seeded common::Rng");
-    } else if (time_like.count(id)) {
-      emit(out, m, ts[i].line, kNondetCall,
-           "call to '" + id + "()' reads wall-clock state");
-    }
-  }
-}
-
-void check_ptr_keys(const FileModel& m, std::vector<Violation>& out) {
-  static const std::set<std::string> ordered = {"map", "set", "multimap",
-                                               "multiset"};
-  const std::vector<Token>& ts = m.lexed.tokens;
-  for (std::size_t i = 2; i + 1 < ts.size(); ++i) {
-    if (ts[i].kind != TokKind::kIdent || !ordered.count(ts[i].text) ||
-        ts[i + 1].text != "<" || ts[i - 1].text != "::" ||
-        !is_ident(ts[i - 2], "std")) {
-      continue;
-    }
-    // Walk the first template argument; a trailing '*' means the keys
-    // are pointers and the tree orders by allocation address.
-    int depth = 0;
-    std::string last;
-    for (std::size_t j = i + 1; j < ts.size(); ++j) {
-      const std::string& t = ts[j].text;
-      if (t == "<") {
-        ++depth;
-        continue;
-      }
-      if (t == ">") {
-        if (--depth == 0) break;
-        continue;
-      }
-      if (t == "," && depth == 1) break;
-      if (depth >= 1) last = t;
-    }
-    if (last == "*") {
-      emit(out, m, ts[i].line, kPtrKey,
-           "std::" + ts[i].text + " keyed by a pointer type");
-    }
-  }
-}
-
-void check_members(const FileModel& m,
-                   const std::map<std::string, std::set<std::string>>& bodies,
-                   const std::map<std::string, std::set<std::string>>& inits,
-                   const InlineMarkers& mk, LintResult& result,
+void check_members(const FileSummary& f, const ProjectJoin& join,
                    std::vector<Violation>& out) {
-  for (const ClassInfo& c : m.classes) {
+  for (const ClassInfo& c : f.classes) {
     if (!c.declares_save && !c.declares_load) continue;
-    const auto body_it = bodies.find(c.name);
+    const auto body_it = join.snapshot_bodies.find(c.name);
     const bool have_impl =
-        body_it != bodies.end() && !body_it->second.empty();
-    const auto init_it = inits.find(c.name);
+        body_it != join.snapshot_bodies.end() && !body_it->second.empty();
+    const auto init_it = join.ctor_inits.find(c.name);
     for (const Member& mem : c.members) {
       // uninit-pod-member: trivial type, no initializer.
       std::vector<std::string> type;
@@ -254,10 +107,10 @@ void check_members(const FileModel& m,
       for (const std::string& t : type) {
         if (t != "*" && !fundamental_types().count(t)) pod = false;
       }
-      const bool ctor_inited =
-          init_it != inits.end() && init_it->second.count(mem.name) > 0;
+      const bool ctor_inited = init_it != join.ctor_inits.end() &&
+                               init_it->second.count(mem.name) > 0;
       if (!mem.has_init && !ctor_inited && !ref && (pod || ptr)) {
-        emit(out, m, mem.line, kUninitPod,
+        emit(out, f.path, mem.line, kUninitPod,
              "member '" + mem.name + "' of snapshot class '" + c.name +
                  "' has no initializer");
       }
@@ -266,11 +119,7 @@ void check_members(const FileModel& m,
       // save_state/load_state bodies (wherever they live).
       if (!have_impl) continue;
       if (body_it->second.count(mem.name)) continue;
-      if (member_exempt(mk, mem.line)) {
-        ++result.suppressed;
-        continue;
-      }
-      emit(out, m, mem.line, kSnapshotComplete,
+      emit(out, f.path, mem.line, kSnapshotComplete,
            "member '" + mem.name + "' of snapshot class '" + c.name +
                "' is not referenced in save_state/load_state");
     }
@@ -288,6 +137,14 @@ bool is_header(const std::string& path) {
                               path.rfind(".h") == path.size() - 2);
 }
 
+/// Test code is scanned (the include graph and layering need it) but the
+/// per-file determinism families do not apply there: a test may
+/// legitimately iterate an unordered container to assert its contents or
+/// seed an Rng with a literal.
+bool test_scope(const std::string& path) {
+  return path.rfind("tests/", 0) == 0;
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -296,12 +153,12 @@ const std::vector<RuleInfo>& rules() {
        "range-for over std::unordered_map/unordered_set",
        "collect keys, sort, iterate the sorted list (see "
        "power/defense.cpp sorted_nodes) or use an ordered container"},
-      {kNondetCall,
+      {"nondet-call",
        "rand()/random_device/time()/clock()/::now() outside whitelisted "
        "timing code",
        "derive randomness from common::Rng seeded by the spec; route "
        "timing through a suppressed timing helper"},
-      {kPtrKey,
+      {"ptr-key-container",
        "std::map/std::set keyed by a pointer",
        "key by a stable id (NodeId, PacketId, index) instead of an "
        "allocation address"},
@@ -313,6 +170,26 @@ const std::vector<RuleInfo>& rules() {
        "data member missing from save_state/load_state",
        "serialize the member, or mark the declaration "
        "\"// snapshot-exempt: <reason>\" if it is derived or transient"},
+      {"spec-field-parity",
+       "data member missing from to_json/from_json of its class",
+       "serialize the member on both sides, or mark the declaration "
+       "\"// json-exempt: <reason>\" if it is runtime-only plumbing"},
+      {"seed-provenance",
+       "Rng/std::mt19937 seeded from a literal or non-seed expression",
+       "derive the constructor argument from spec.seed (directly or via "
+       "splitmix64 of a *seed* value) so the stream replays from the spec"},
+      {"float-unordered-reduce",
+       "floating-point accumulation over unordered-container iteration",
+       "sum over a sorted copy of the keys so the addition order is "
+       "stable; integer accumulation is exempt already"},
+      {"layer-violation",
+       "#include pointing at the same or a higher layer of the module DAG",
+       "depend only on strictly lower layers of tools/lint_layers.txt; "
+       "move shared code down or invert the dependency"},
+      {"layer-cycle",
+       "cycle among project #includes",
+       "break the cycle with a forward declaration or by extracting the "
+       "shared piece into a lower layer"},
   };
   return r;
 }
@@ -355,66 +232,90 @@ std::vector<FileSuppression> parse_suppression_file(
   return out;
 }
 
-LintResult run_lint(const std::vector<FileModel>& models,
-                    const std::vector<FileSuppression>& suppressions) {
+LintResult run_lint(const ProjectModel& pm,
+                    const std::vector<FileSuppression>& suppressions,
+                    const LintOptions& opts) {
   LintResult result;
-  result.files_scanned = static_cast<int>(models.size());
+  result.files_scanned = static_cast<int>(pm.files.size());
 
-  // Cross-file joins: snapshot bodies by class name, and unordered
-  // container names of each header stem (so X.cpp sees members X.hpp
-  // declared).
-  std::map<std::string, std::set<std::string>> bodies;
-  std::map<std::string, std::set<std::string>> ctor_inits;
-  std::map<std::string, const FileModel*> header_by_stem;
-  for (const FileModel& m : models) {
-    for (const auto& [cls, idents] : m.snapshot_body_idents) {
-      bodies[cls].insert(idents.begin(), idents.end());
-    }
-    for (const auto& [cls, names] : m.ctor_inits) {
-      ctor_inits[cls].insert(names.begin(), names.end());
-    }
-    for (const ClassInfo& c : m.classes) {
-      bodies[c.name].insert(c.snapshot_idents.begin(),
-                            c.snapshot_idents.end());
-    }
-    if (is_header(m.path)) header_by_stem[stem_of(m.path)] = &m;
+  ProjectJoin join;
+  std::map<std::string, const MarkerSet*> markers_by_file;
+  for (const FileSummary& f : pm.files) {
+    markers_by_file[f.path] = &f.markers;
+    result.errors.insert(result.errors.end(), f.markers.errors.begin(),
+                         f.markers.errors.end());
+    if (is_header(f.path)) join.header_by_stem[stem_of(f.path)] = &f;
+    if (test_scope(f.path)) continue;
+    const auto merge =
+        [](std::map<std::string, std::set<std::string>>& into,
+           const std::map<std::string, std::set<std::string>>& from) {
+          for (const auto& [cls, idents] : from) {
+            into[cls].insert(idents.begin(), idents.end());
+          }
+        };
+    merge(join.snapshot_bodies, f.bodies.snapshot);
+    merge(join.to_json_bodies, f.bodies.to_json);
+    merge(join.from_json_bodies, f.bodies.from_json);
+    merge(join.ctor_inits, f.ctor_inits);
   }
 
   std::vector<Violation> raw;
-  for (const FileModel& m : models) {
-    const InlineMarkers markers = scan_markers(m, result.errors);
+  for (const FileSummary& f : pm.files) {
+    if (test_scope(f.path)) continue;
 
-    std::set<std::string> unordered = m.unordered_names;
-    if (!is_header(m.path)) {
-      const auto it = header_by_stem.find(stem_of(m.path));
-      if (it != header_by_stem.end()) {
+    for (const TokenFinding& tf : f.token_findings) {
+      emit(raw, f.path, tf.line, tf.rule.c_str(), tf.message);
+    }
+
+    std::set<std::string> unordered = f.unordered_names;
+    if (!is_header(f.path)) {
+      const auto it = join.header_by_stem.find(stem_of(f.path));
+      if (it != join.header_by_stem.end()) {
         unordered.insert(it->second->unordered_names.begin(),
                          it->second->unordered_names.end());
       }
     }
+    check_unordered_iter(f, unordered, raw);
+    check_members(f, join, raw);
+    check_spec_field_parity(f, join, raw);
+    check_seed_provenance(f, raw);
+    check_float_unordered_reduce(f, join, raw);
+  }
 
-    std::vector<Violation> found;
-    check_unordered_iter(m, unordered, found);
-    check_nondet_calls(m, found);
-    check_ptr_keys(m, found);
-    check_members(m, bodies, ctor_inits, markers, result, found);
-
-    for (Violation& v : found) {
-      if (inline_allowed(markers, v.line, v.rule) ||
-          file_suppressed(suppressions, v)) {
-        ++result.suppressed;
-      } else {
-        raw.push_back(std::move(v));
-      }
+  if (opts.layers != nullptr) {
+    for (const LayerFinding& lf :
+         check_layering(pm, *opts.layers, result.errors)) {
+      emit(raw, lf.file, lf.line, lf.rule.c_str(), lf.message);
     }
   }
 
-  std::sort(raw.begin(), raw.end(), [](const Violation& a, const Violation& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
-  result.violations = std::move(raw);
+  std::vector<Violation> kept;
+  for (Violation& v : raw) {
+    const auto mk_it = markers_by_file.find(v.file);
+    const MarkerSet* mk = mk_it == markers_by_file.end() ? nullptr
+                                                         : mk_it->second;
+    bool drop = false;
+    if (mk != nullptr) {
+      drop = inline_allowed(*mk, v.line, v.rule) ||
+             (v.rule == kSnapshotComplete &&
+              line_marked(mk->snapshot_exempt, v.line)) ||
+             (v.rule == "spec-field-parity" &&
+              line_marked(mk->json_exempt, v.line));
+    }
+    if (drop || file_suppressed(suppressions, v)) {
+      ++result.suppressed;
+    } else {
+      kept.push_back(std::move(v));
+    }
+  }
+
+  std::sort(kept.begin(), kept.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  result.violations = std::move(kept);
   std::sort(result.errors.begin(), result.errors.end());
   return result;
 }

@@ -1,0 +1,67 @@
+// spec-field-parity: the serialization mirror of snapshot-complete.
+//
+// For every class that has both a to_json and a from_json implementation
+// anywhere in the project (inline, out-of-class `X::to_json`, or the
+// free-function `x_to_json(const X&)` / `X x_from_json(...)` idiom),
+// every data member must be referenced in BOTH bodies. A member written
+// by to_json but never read back silently resets on a fleet round-trip;
+// a member serialized by neither silently does not survive at all --
+// both are exactly the class of bug that cost a bisect through
+// htpb_diff output before this rule existed. `// json-exempt: <reason>`
+// on the declaration marks deliberate runtime-only members.
+#include "lint/rules.hpp"
+
+namespace htpb::lint {
+
+namespace {
+
+const char* parity_hint() {
+  for (const RuleInfo& r : rules()) {
+    if (std::string("spec-field-parity") == r.id) return r.hint;
+  }
+  return "";
+}
+
+}  // namespace
+
+void check_spec_field_parity(const FileSummary& f, const ProjectJoin& join,
+                             std::vector<Violation>& out) {
+  for (const ClassInfo& c : f.classes) {
+    const auto to_it = join.to_json_bodies.find(c.name);
+    const auto from_it = join.from_json_bodies.find(c.name);
+    if (to_it == join.to_json_bodies.end() || to_it->second.empty() ||
+        from_it == join.from_json_bodies.end() || from_it->second.empty()) {
+      continue;  // parity only applies to classes with both sides
+    }
+    for (const Member& mem : c.members) {
+      // A body referencing `x` covers member `x_`: the accessor / Raw
+      // idiom (RunningStat::raw() exposes n_ as .n) serializes through
+      // the public name of the private member.
+      const std::string bare = !mem.name.empty() && mem.name.back() == '_'
+                                   ? mem.name.substr(0, mem.name.size() - 1)
+                                   : mem.name;
+      const auto in = [&](const std::set<std::string>& body) {
+        return body.count(mem.name) > 0 || body.count(bare) > 0;
+      };
+      const bool in_to = in(to_it->second);
+      const bool in_from = in(from_it->second);
+      if (in_to && in_from) continue;
+      std::string message;
+      if (in_to) {
+        message = "member '" + mem.name + "' of '" + c.name +
+                  "' is written by to_json but never read back in "
+                  "from_json (silently resets on a round-trip)";
+      } else if (in_from) {
+        message = "member '" + mem.name + "' of '" + c.name +
+                  "' is read by from_json but never written by to_json";
+      } else {
+        message = "member '" + mem.name + "' of '" + c.name +
+                  "' appears in neither to_json nor from_json";
+      }
+      out.push_back(Violation{f.path, mem.line, "spec-field-parity",
+                              std::move(message), parity_hint()});
+    }
+  }
+}
+
+}  // namespace htpb::lint

@@ -1,0 +1,72 @@
+// float-unordered-reduce: floating-point sums must not follow an
+// implementation-defined iteration order.
+//
+// `a + b + c` and `c + b + a` differ in the last ulp often enough that a
+// sum taken while iterating a std::unordered_{map,set} breaks the
+// repo's bit-identity contract even when every addend is identical.
+// Fires on `+=` inside a range-for over an unordered container and on
+// std::accumulate/std::reduce over one, but ONLY with floating-point
+// evidence: the accumulator is declared float/double, or the
+// accumulate/reduce init argument is a floating literal. Integer
+// accumulation is associative-commutative exactly and stays silent --
+// which is also why this is a separate rule from unordered-iter: an
+// order-insensitive integer fold earns an unordered-iter allow, but the
+// same allow must not blanket a float sum added later.
+#include "lint/rules.hpp"
+
+namespace htpb::lint {
+
+namespace {
+
+const char* reduce_hint() {
+  for (const RuleInfo& r : rules()) {
+    if (std::string("float-unordered-reduce") == r.id) return r.hint;
+  }
+  return "";
+}
+
+std::string stem_of(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(0, dot);
+}
+
+bool is_header(const std::string& path) {
+  return path.size() >= 2 && (path.rfind(".hpp") == path.size() - 4 ||
+                              path.rfind(".hh") == path.size() - 3 ||
+                              path.rfind(".h") == path.size() - 2);
+}
+
+}  // namespace
+
+void check_float_unordered_reduce(const FileSummary& f,
+                                  const ProjectJoin& join,
+                                  std::vector<Violation>& out) {
+  std::set<std::string> unordered = f.unordered_names;
+  std::set<std::string> floats = f.float_names;
+  if (!is_header(f.path)) {
+    const auto it = join.header_by_stem.find(stem_of(f.path));
+    if (it != join.header_by_stem.end()) {
+      unordered.insert(it->second->unordered_names.begin(),
+                       it->second->unordered_names.end());
+      floats.insert(it->second->float_names.begin(),
+                    it->second->float_names.end());
+    }
+  }
+  for (const ReduceSite& site : f.reduce_sites) {
+    if (!unordered.count(site.target)) continue;
+    const bool floating =
+        site.float_evidence || (!site.acc.empty() && floats.count(site.acc));
+    if (!floating) continue;
+    const std::string how =
+        site.op == "+=" ? "'" + site.acc + " += ...' inside iteration"
+                        : "std::" + site.op;
+    out.push_back(Violation{
+        f.path, site.line, "float-unordered-reduce",
+        "floating-point accumulation (" + how +
+            ") over unordered container '" + site.target +
+            "' sums in implementation-defined order",
+        reduce_hint()});
+  }
+}
+
+}  // namespace htpb::lint

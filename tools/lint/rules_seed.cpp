@@ -1,0 +1,39 @@
+// seed-provenance: every stochastic entry point derives from spec.seed.
+//
+// An Rng (or std::mt19937) constructed from a literal or from an
+// expression with no visible seed in it starts a stream the spec cannot
+// replay -- the PR 5 seed audit found exactly such strays, and this rule
+// keeps them out. "Visibly derived" is lexical: some identifier in the
+// constructor argument contains "seed" or "rng" (case-insensitive),
+// which matches every legitimate derivation in the tree
+// (`spec.seed + s*77 + h`, `splitmix64(config.backoff_seed ^ h)`,
+// `stream_rng(...)`) and none of the literals. Test code is out of
+// scope (run_lint's scope gate); demos that deliberately fix a seed
+// carry an inline allow with the reason.
+#include "lint/rules.hpp"
+
+namespace htpb::lint {
+
+namespace {
+
+const char* seed_hint() {
+  for (const RuleInfo& r : rules()) {
+    if (std::string("seed-provenance") == r.id) return r.hint;
+  }
+  return "";
+}
+
+}  // namespace
+
+void check_seed_provenance(const FileSummary& f, std::vector<Violation>& out) {
+  for (const RngSite& site : f.rng_sites) {
+    if (site.seed_derived) continue;
+    out.push_back(Violation{
+        f.path, site.line, "seed-provenance",
+        "Rng constructed from '" + site.args +
+            "', which is not visibly derived from a seed",
+        seed_hint()});
+  }
+}
+
+}  // namespace htpb::lint
